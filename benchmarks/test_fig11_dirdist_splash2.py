@@ -1,0 +1,25 @@
+"""Figure 11: distribution of directories per commit, SPLASH-2 at scale."""
+
+from repro.harness.experiments import run_dirs_distribution
+from repro.harness.tables import render_distribution
+
+from conftest import CHUNKS, LARGE_CORES, SPLASH2_SUBSET
+
+
+def test_fig11_distribution_splash2(once):
+    dist = once(run_dirs_distribution, SPLASH2_SUBSET, LARGE_CORES, CHUNKS)
+    print(f"\nFigure 11 (distribution of dirs/commit, SPLASH-2, "
+          f"{LARGE_CORES}p):")
+    print(render_distribution(dist))
+
+    for app, pct in dist.items():
+        total = sum(pct.values())
+        assert abs(total - 100.0) < 1e-6, app
+
+    # Radix's mass sits at high directory counts; LU's at low counts
+    radix_low = sum(v for k, v in dist["Radix"].items()
+                    if isinstance(k, int) and k <= 3)
+    lu_low = sum(v for k, v in dist["LU"].items()
+                 if isinstance(k, int) and k <= 3)
+    assert lu_low > 80
+    assert radix_low < 40

@@ -1,0 +1,23 @@
+"""Figure 12: distribution of directories per commit, PARSEC at scale."""
+
+from repro.harness.experiments import run_dirs_distribution
+from repro.harness.tables import render_distribution
+
+from conftest import CHUNKS, LARGE_CORES, PARSEC_SUBSET
+
+
+def test_fig12_distribution_parsec(once):
+    dist = once(run_dirs_distribution, PARSEC_SUBSET, LARGE_CORES, CHUNKS)
+    print(f"\nFigure 12 (distribution of dirs/commit, PARSEC, "
+          f"{LARGE_CORES}p):")
+    print(render_distribution(dist))
+
+    for pct in dist.values():
+        assert abs(sum(pct.values()) - 100.0) < 1e-6
+
+    # Canneal has the significant tail of large groups (Section 6.2)
+    canneal_high = sum(v for k, v in dist["Canneal"].items()
+                       if k == "more" or (isinstance(k, int) and k >= 5))
+    swaptions_high = sum(v for k, v in dist["Swaptions"].items()
+                         if k == "more" or (isinstance(k, int) and k >= 5))
+    assert canneal_high > swaptions_high

@@ -1,0 +1,26 @@
+"""Figure 14: bottleneck ratio, SPLASH-2 (ScalableBulk / TCC / SEQ).
+
+Shape: SEQ's sequential occupation makes group acquisition dwarf commit
+completion on large-group apps; ScalableBulk stays moderate.
+"""
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import GROUPING_PROTOCOLS, run_bottleneck_ratio
+from repro.harness.tables import render_ratio_table
+
+from conftest import CHUNKS, LARGE_CORES, SPLASH2_SUBSET
+
+
+def test_fig14_bottleneck_splash2(once):
+    data = once(run_bottleneck_ratio, SPLASH2_SUBSET, LARGE_CORES,
+                GROUPING_PROTOCOLS, CHUNKS)
+    print(f"\nFigure 14 (bottleneck ratio, SPLASH-2, {LARGE_CORES}p):")
+    print(render_ratio_table(data, "bottleneck ratio"))
+
+    for app, per_proto in data.items():
+        for proto, ratio in per_proto.items():
+            assert ratio >= 0.0, (app, proto)
+
+    # SEQ on Radix: formation (occupation) dominates completion
+    assert data["Radix"][ProtocolKind.SEQ] > \
+        data["Radix"][ProtocolKind.SCALABLEBULK]

@@ -1,0 +1,33 @@
+"""Figure 16: chunk queue lengths, SPLASH-2 (TCC and SEQ only).
+
+ScalableBulk chunks never queue (full overlap); TCC and SEQ queue chunks
+behind earlier commits at shared directories.
+"""
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import (
+    QUEUEING_PROTOCOLS, run_queue_length,
+)
+from repro.harness.tables import render_ratio_table
+
+from conftest import CHUNKS, LARGE_CORES, SPLASH2_SUBSET
+
+
+def test_fig16_queue_splash2(once):
+    data = once(run_queue_length, SPLASH2_SUBSET, LARGE_CORES,
+                QUEUEING_PROTOCOLS, CHUNKS)
+    print(f"\nFigure 16 (chunk queue length, SPLASH-2, {LARGE_CORES}p):")
+    print(render_ratio_table(data, "mean chunk queue length"))
+
+    # queues exist somewhere for both serializing protocols
+    assert any(per[ProtocolKind.SEQ] > 0.5 for per in data.values())
+    # Radix queues hardest under SEQ (large write groups)
+    assert data["Radix"][ProtocolKind.SEQ] >= \
+        max(per[ProtocolKind.SEQ] for app, per in data.items()
+            if app != "Radix") * 0.8
+
+
+def test_scalablebulk_queues_nothing(once):
+    data = once(run_queue_length, ["Radix"], LARGE_CORES,
+                (ProtocolKind.SCALABLEBULK,), CHUNKS)
+    assert data["Radix"][ProtocolKind.SCALABLEBULK] == 0.0

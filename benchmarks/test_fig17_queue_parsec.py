@@ -1,0 +1,22 @@
+"""Figure 17: chunk queue lengths, PARSEC (TCC and SEQ only)."""
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import QUEUEING_PROTOCOLS, run_queue_length
+from repro.harness.tables import render_ratio_table
+
+from conftest import CHUNKS, LARGE_CORES, PARSEC_SUBSET
+
+
+def test_fig17_queue_parsec(once):
+    data = once(run_queue_length, PARSEC_SUBSET, LARGE_CORES,
+                QUEUEING_PROTOCOLS, CHUNKS)
+    print(f"\nFigure 17 (chunk queue length, PARSEC, {LARGE_CORES}p):")
+    print(render_ratio_table(data, "mean chunk queue length"))
+
+    for per in data.values():
+        for v in per.values():
+            assert v >= 0.0
+
+    # the high-commit-pressure app queues more than the parallel one
+    assert data["Canneal"][ProtocolKind.SEQ] >= \
+        data["Swaptions"][ProtocolKind.SEQ]

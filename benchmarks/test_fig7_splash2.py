@@ -1,0 +1,46 @@
+"""Figure 7: SPLASH-2 execution-time breakdowns across the four protocols.
+
+Shape checks (not absolute numbers): ScalableBulk carries essentially no
+commit-stall time; SEQ pays heavy commit serialization on large-group
+applications (Radix); overall, ScalableBulk's average speedup is at least
+that of SEQ and BulkSC.
+"""
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import ALL_PROTOCOLS, run_execution_time_figure
+from repro.harness.tables import render_breakdown
+
+from conftest import CHUNKS, CORE_COUNTS, SPLASH2_SUBSET
+
+
+def test_fig7_splash2_breakdown(once):
+    fig = once(run_execution_time_figure, SPLASH2_SUBSET,
+               CORE_COUNTS, ALL_PROTOCOLS, CHUNKS)
+    print("\nFigure 7 (SPLASH-2 execution time, normalized to 1p "
+          "ScalableBulk):")
+    print(render_breakdown(fig, ALL_PROTOCOLS, CORE_COUNTS))
+
+    big = max(CORE_COUNTS)
+    sb = fig.average_speedup(ProtocolKind.SCALABLEBULK, big)
+    seq = fig.average_speedup(ProtocolKind.SEQ, big)
+    bsc = fig.average_speedup(ProtocolKind.BULKSC, big)
+    assert sb > 0
+    # ScalableBulk wins on average against the serializing protocols
+    assert sb >= seq * 0.95
+    assert sb >= bsc * 0.95
+
+    # ScalableBulk shows practically no commit stalls (paper Section 6.1)
+    sb_commit = fig.average_commit_fraction(ProtocolKind.SCALABLEBULK, big)
+    assert sb_commit < 0.05
+
+    # SEQ pays for Radix's large write groups; at the paper's 64-core
+    # scale the commit component dominates its bar
+    radix_seq = fig.bar("Radix", ProtocolKind.SEQ, big)
+    radix_sb = fig.bar("Radix", ProtocolKind.SCALABLEBULK, big)
+    if big >= 64:
+        assert radix_seq.commit / max(radix_seq.normalized_time, 1e-12) > 0.3
+    assert radix_seq.normalized_time >= radix_sb.normalized_time * 0.9
+
+    # large-footprint apps beat linear scaling (aggregate L2 capacity)
+    ocean = fig.bar("Ocean", ProtocolKind.SCALABLEBULK, big)
+    assert ocean.speedup > big * 0.8

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Trace a chunk's life through the protocol.
+
+Attaches the chunk tracer to a small contended machine, runs it, and
+prints (1) the machine-wide event summary and (2) the full timeline of one
+chunk that lost a group-formation collision and retried — the debugging
+workflow for protocol investigations.
+
+Run:  python examples/debug_timeline.py
+"""
+
+from repro import Machine, ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.tracing import attach_tracer
+
+
+def main() -> None:
+    config = SystemConfig(n_cores=9, seed=11,
+                          protocol=ProtocolKind.SCALABLEBULK)
+    # every core hammers the same two pages: guaranteed collisions
+    pages = (32 * 128 * 300, 32 * 128 * 460)
+
+    def specs(core):
+        return [ChunkSpec(250, [
+            ChunkAccess(1, pages[0] + 32 * core, True),
+            ChunkAccess(1, pages[1] + 32 * core, True),
+            ChunkAccess(1, pages[0] + 32 * ((core + 1) % 9), False),
+        ]) for _ in range(3)]
+
+    remaining = {c: specs(c) for c in range(9)}
+    machine = Machine(config, next_spec=lambda c: (
+        remaining.get(c).pop(0) if remaining.get(c) else None))
+    tracer = attach_tracer(machine)
+    machine.run()
+
+    print("machine-wide event summary:")
+    for kind, count in sorted(tracer.summary().items()):
+        print(f"  {kind:16s} {count}")
+
+    failures = tracer.of_kind("group_failed")
+    print(f"\n{len(failures)} group-formation failures; "
+          f"{machine.protocol.stats.commit_recalls} OCI recalls")
+
+    interesting = failures[0].tag if failures else \
+        tracer.of_kind("commit_success")[0].tag
+    print("\n" + tracer.timeline(interesting))
+
+    squashes = tracer.of_kind("squash")
+    if squashes:
+        print("\n" + tracer.timeline(squashes[0].tag))
+
+
+if __name__ == "__main__":
+    main()

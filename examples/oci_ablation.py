@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Optimistic Commit Initiation on vs off (paper Section 3.3).
+
+With OCI a committing processor keeps consuming bulk invalidations while
+its own commit is in flight; if one kills the in-flight chunk, a commit
+recall cancels the group.  Without OCI (the conservative BulkSC-style
+behaviour of Fig. 4(c)) the processor nacks invalidations until its own
+outcome arrives, lengthening everyone's critical path.
+
+Run:  python examples/oci_ablation.py [app] [n_cores]
+"""
+
+import sys
+
+from repro import ProtocolKind, SimulationRunner, SystemConfig
+
+
+def run(app: str, n_cores: int, oci: bool):
+    config = SystemConfig(n_cores=n_cores, oci=oci,
+                          protocol=ProtocolKind.SCALABLEBULK)
+    result = SimulationRunner(app, config, chunks_per_partition=4).run(
+        keep_machine=True)
+    return result
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "Canneal"
+    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    print(f"OCI ablation: {app} on {n_cores} cores\n")
+    rows = []
+    for oci in (True, False):
+        r = run(app, n_cores, oci)
+        stats = r.machine.protocol.stats
+        rows.append((oci, r, stats))
+        mode = "OCI (optimistic)" if oci else "conservative"
+        print(f"{mode:18s} cycles={r.total_cycles:9,d} "
+              f"commit lat={r.mean_commit_latency:7.1f} "
+              f"inv-nacks={stats.bulk_inv_nacks:5d} "
+              f"recalls={stats.commit_recalls:3d} "
+              f"squash={r.squashes_conflict + r.squashes_alias:3d}")
+
+    with_oci, without = rows[0][1], rows[1][1]
+    delta = (without.total_cycles - with_oci.total_cycles) \
+        / without.total_cycles * 100
+    print(f"\nOCI saves {delta:.1f}% of execution time here.")
+    print("The conservative mode's invalidation nacks (retried by the "
+          "winning leader) are the latency OCI removes from the critical "
+          "path of successful commits.")
+
+
+if __name__ == "__main__":
+    main()

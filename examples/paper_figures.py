@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Render the paper's key figures as terminal charts, at demo scale.
+
+Regenerates miniature versions of Figures 7 (execution breakdown),
+9 (directories per commit) and 13 (commit-latency comparison) and draws
+them with the ASCII chart renderers — no plotting libraries required.
+
+Run:  python examples/paper_figures.py [n_cores]
+"""
+
+import sys
+
+from repro.config import ProtocolKind
+from repro.harness.ascii_plots import (
+    breakdown_chart, distribution_plot, grouped_bars, hbar_chart,
+)
+from repro.harness.experiments import (
+    run_commit_latency, run_dirs_per_commit, run_execution_time_figure,
+)
+
+APPS = ["Radix", "LU", "Barnes"]
+PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.SEQ)
+
+
+def main() -> None:
+    n_cores = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+
+    print(f"=== Figure 7 (miniature): execution-time breakdown, "
+          f"{n_cores} cores ===\n")
+    fig = run_execution_time_figure(APPS, (n_cores,), PROTOCOLS,
+                                    chunks_per_partition=2)
+    print(breakdown_chart(fig.bars, width=46))
+    print()
+
+    print("=== Figure 9 (miniature): directories per chunk commit ===\n")
+    rows = run_dirs_per_commit(APPS, (n_cores,), chunks_per_partition=2)
+    print(grouped_bars(
+        [r.app for r in rows],
+        {"write group": [r.mean_write_dirs for r in rows],
+         "read group": [r.mean_read_only_dirs for r in rows]},
+        width=36))
+    print()
+
+    print("=== Figure 13 (miniature): mean commit latency ===\n")
+    samples = run_commit_latency(APPS, n_cores, tuple(ProtocolKind),
+                                 chunks_per_partition=2)
+    means = {p.value: (sum(v) / len(v) if v else 0.0)
+             for p, v in samples.items()}
+    print(hbar_chart(means, width=46, unit=" cy"))
+
+
+if __name__ == "__main__":
+    main()

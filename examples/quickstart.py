@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application under ScalableBulk.
+
+Builds the paper's Table 2 machine (scaled to 16 cores so it runs in a few
+seconds), executes a synthetic Barnes-Hut workload, and prints the
+execution-time breakdown and commit statistics the paper reports.
+
+Run:  python examples/quickstart.py [app] [n_cores]
+"""
+
+import sys
+
+from repro import ProtocolKind, run_app
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "Barnes"
+    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    print(f"Simulating {app} on a {n_cores}-core ScalableBulk machine ...")
+    result = run_app(app, n_cores=n_cores,
+                     protocol=ProtocolKind.SCALABLEBULK,
+                     chunks_per_partition=3)
+
+    print(f"\n{app}: {result.chunks_committed} chunks committed in "
+          f"{result.total_cycles:,} cycles")
+    print("\nExecution-time breakdown (the paper's Fig. 7/8 categories):")
+    for category, fraction in result.breakdown_fractions().items():
+        bar = "#" * int(fraction * 50)
+        print(f"  {category:10s} {fraction * 100:5.1f}%  {bar}")
+
+    print("\nCommit behaviour:")
+    print(f"  mean commit latency        {result.mean_commit_latency:8.1f} cycles")
+    print(f"  directories per commit     {result.mean_dirs_per_commit:8.2f} "
+          f"({result.mean_write_dirs_per_commit:.2f} recording writes)")
+    print(f"  squashes (conflict/alias)  "
+          f"{result.squashes_conflict}/{result.squashes_alias}")
+    print(f"  bottleneck ratio           {result.bottleneck_ratio:8.2f}")
+
+    print("\nNetwork traffic by class (Fig. 18/19 categories):")
+    for cls, count in sorted(result.traffic_by_class.items()):
+        print(f"  {cls:16s} {count:8d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Bulk signatures by hand: membership, disambiguation, aliasing.
+
+Shows what the ScalableBulk hardware does with 2 Kbit signatures: builds
+R/W signatures for two chunks, runs the disambiguation a processor
+performs on a bulk invalidation, and measures the false-positive rate that
+causes the paper's ~2% "aliasing squashes".
+
+Run:  python examples/signature_playground.py
+"""
+
+from repro import SignatureFactory
+from repro.engine.rng import DeterministicRng
+
+
+def main() -> None:
+    factory = SignatureFactory(total_bits=2048, n_banks=4, seed=42)
+    rng = DeterministicRng(42, "demo")
+
+    # two chunks with realistic footprints: ~60 distinct lines each
+    chunk_a_writes = {rng.randint(0, 1 << 30) for _ in range(25)}
+    chunk_b_reads = {rng.randint(0, 1 << 30) for _ in range(40)}
+    chunk_b_reads.add(next(iter(chunk_a_writes)))  # one true conflict
+
+    w_sig = factory.from_lines(chunk_a_writes)
+    r_sig = factory.from_lines(chunk_b_reads)
+
+    print(f"chunk A writes {len(chunk_a_writes)} lines "
+          f"-> W signature density {w_sig.bit_count()}/2048 bits")
+    print(f"chunk B reads  {len(chunk_b_reads)} lines "
+          f"-> R signature density {r_sig.bit_count()}/2048 bits\n")
+
+    # Disambiguation as the hardware does it: probe each invalidated line
+    hits = [line for line in chunk_a_writes if r_sig.contains(line)]
+    true_hits = chunk_a_writes & chunk_b_reads
+    print(f"bulk invalidation of A's write-set against B's R signature:")
+    print(f"  {len(hits)} probe hit(s); {len(true_hits)} genuine conflict(s)")
+    print(f"  -> chunk B {'squashes' if hits else 'survives'} "
+          f"(correct: it read a line A wrote)\n")
+
+    # Membership false positives: the aliasing-squash mechanism
+    probes = 200_000
+    fp = sum(1 for i in range(probes)
+             if w_sig.contains((1 << 40) + i))
+    print(f"membership false-positive rate at this density: "
+          f"{fp / probes:.2e} per probe")
+    print("  (integrated over a chunk's invalidation traffic this yields "
+          "the paper's ~2% aliasing squashes)\n")
+
+    # No false negatives, ever
+    assert all(w_sig.contains(line) for line in chunk_a_writes)
+    print("no-false-negative check passed: every written line is in W")
+
+    # Signature intersection emptiness per bank
+    disjoint = factory.from_lines({(1 << 35) + i for i in range(10)})
+    print(f"\nbanked AND test vs a disjoint 10-line signature: "
+          f"{'overlap possible' if w_sig.intersects(disjoint) else 'provably disjoint'}")
+    print("(whole-signature ANDs saturate at chunk densities — which is "
+          "why the protocol probes per expanded line instead)")
+
+
+if __name__ == "__main__":
+    main()

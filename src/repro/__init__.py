@@ -1,0 +1,55 @@
+"""ScalableBulk reproduction: scalable cache coherence for atomic blocks.
+
+A cycle-level, discrete-event reproduction of *ScalableBulk: Scalable
+Cache Coherence for Atomic Blocks in a Lazy Environment* (Qian, Ahn,
+Torrellas — MICRO 2010), including the three baseline protocols the paper
+compares against (BulkSC, Scalable TCC, SEQ-PRO) and synthetic workload
+models of the 11 SPLASH-2 and 7 PARSEC applications it evaluates.
+
+Quickstart::
+
+    from repro import run_app, ProtocolKind
+
+    result = run_app("Radix", n_cores=16, protocol=ProtocolKind.SCALABLEBULK)
+    print(result.breakdown_fractions())
+    print(result.mean_commit_latency, result.mean_dirs_per_commit)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.config import CacheConfig, ProtocolKind, SystemConfig, table2_config
+from repro.harness.runner import Machine, RunResult, SimulationRunner, run_app
+from repro.signatures import BulkSignature, SignatureFactory
+from repro.workloads import (
+    APP_PROFILES,
+    PARSEC_APPS,
+    SPLASH2_APPS,
+    AppProfile,
+    SyntheticWorkload,
+    TraceFileWorkload,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "BulkSignature",
+    "CacheConfig",
+    "Machine",
+    "PARSEC_APPS",
+    "ProtocolKind",
+    "RunResult",
+    "SPLASH2_APPS",
+    "SignatureFactory",
+    "SimulationRunner",
+    "SyntheticWorkload",
+    "SystemConfig",
+    "TraceFileWorkload",
+    "get_profile",
+    "run_app",
+    "table2_config",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        simulate one application under one protocol and print stats
+compare    run all four protocols on one application side by side
+apps       list the modelled applications and their key parameters
+sweep      full experiment matrix (delegates to repro.harness.sweep)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import run_app
+from repro.workloads.profiles import APP_PROFILES, PARSEC_APPS, SPLASH2_APPS
+
+PROTO_BY_NAME = {p.value.lower(): p for p in ProtocolKind}
+
+
+def _cmd_run(args) -> int:
+    result = run_app(args.app, n_cores=args.cores,
+                     protocol=PROTO_BY_NAME[args.protocol.lower()],
+                     chunks_per_partition=args.chunks)
+    print(f"{args.app} on {args.cores} cores "
+          f"({result.protocol.value}): {result.total_cycles:,} cycles, "
+          f"{result.chunks_committed} chunks")
+    for cat, frac in result.breakdown_fractions().items():
+        print(f"  {cat:10s} {frac * 100:5.1f}%")
+    print(f"  commit latency {result.mean_commit_latency:.1f} cy | "
+          f"dirs/commit {result.mean_dirs_per_commit:.2f} | "
+          f"squashes {result.squashes_conflict}+{result.squashes_alias}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    print(f"{args.app} on {args.cores} cores:")
+    print(f"{'protocol':14s} {'cycles':>10s} {'commit lat':>10s} "
+          f"{'commit%':>8s} {'queue':>6s}")
+    for proto in ProtocolKind:
+        r = run_app(args.app, n_cores=args.cores, protocol=proto,
+                    chunks_per_partition=args.chunks)
+        frac = r.breakdown_fractions()
+        print(f"{proto.value:14s} {r.total_cycles:10,d} "
+              f"{r.mean_commit_latency:10.1f} "
+              f"{frac['Commit'] * 100:7.1f}% {r.mean_queue_length:6.2f}")
+    return 0
+
+
+def _cmd_apps(_args) -> int:
+    print(f"{'app':14s} {'suite':8s} {'pattern':10s} {'shared%':>7s} "
+          f"{'pages/chunk':>11s} {'lines':>6s}")
+    for name in list(SPLASH2_APPS) + list(PARSEC_APPS):
+        p = APP_PROFILES[name]
+        lo, hi = p.shared_pages_per_chunk
+        print(f"{name:14s} {p.suite:8s} {p.sharing_pattern:10s} "
+              f"{p.shared_frac * 100:6.0f}% {f'{lo}-{hi}':>11s} "
+              f"{p.lines_per_chunk:6d}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        # delegate untouched so all of sweep's own flags work
+        from repro.harness import sweep
+        return sweep.main(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one application")
+    p_run.add_argument("app")
+    p_run.add_argument("--cores", type=int, default=16)
+    p_run.add_argument("--protocol", default="scalablebulk",
+                       choices=sorted(PROTO_BY_NAME))
+    p_run.add_argument("--chunks", type=int, default=3)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all four protocols side by side")
+    p_cmp.add_argument("app")
+    p_cmp.add_argument("--cores", type=int, default=16)
+    p_cmp.add_argument("--chunks", type=int, default=3)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_apps = sub.add_parser("apps", help="list modelled applications")
+    p_apps.set_defaults(func=_cmd_apps)
+
+    sub.add_parser("sweep", help="full experiment matrix "
+                                 "(see python -m repro.harness.sweep -h)")
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The three baseline commit protocols of Table 3.
+
+* :mod:`repro.baselines.bulksc` — BulkSC [Ceze et al., ISCA'07]: a single
+  arbiter in the centre of the chip grants commit permission using
+  signature checks.  Scales poorly: every commit crosses the centre and
+  queues at one agent.
+* :mod:`repro.baselines.tcc` — Scalable TCC [Chafi et al., HPCA'07]: a
+  central TID vendor orders commits; the committing processor probes its
+  directories, *skips* every other directory (broadcast), and *marks*
+  every written line.  Directories process TIDs strictly in order, so
+  same-directory commits serialize even when address-disjoint.
+* :mod:`repro.baselines.seq` — SEQ-PRO from SRC [Pugsley et al., PACT'08]:
+  the committing processor occupies its directories one by one in
+  ascending order; an occupied directory queues later requests, again
+  serializing address-disjoint commits that share a module.
+"""
+
+from repro.baselines.bulksc import BulkSCProtocol
+from repro.baselines.tcc import ScalableTCCProtocol
+from repro.baselines.seq import SeqProtocol
+
+__all__ = ["BulkSCProtocol", "ScalableTCCProtocol", "SeqProtocol"]

@@ -1,0 +1,36 @@
+"""ScalableBulk: the paper's contribution.
+
+The protocol extends BulkSC to distributed directories with three generic
+primitives (Section 3):
+
+1. **Preventing access to a set of directory entries** — each directory
+   module holds the W signatures of the chunks committing through it and
+   nacks only overlapping loads/commits (:class:`ScalableBulkDirectory`).
+2. **Grouping directory modules** — the Group Formation protocol: a `g`
+   (grab) message circulates from the leader through the participating
+   modules in priority order, accumulating the invalidation vector;
+   collisions between incompatible groups resolve at the lowest common
+   module, and at least one colliding group always forms
+   (:mod:`repro.core.group`, :mod:`repro.core.directory_engine`).
+3. **Optimistic Commit Initiation** — a committing processor keeps
+   consuming bulk invalidations; if one kills its in-flight chunk, a
+   `commit recall` rides the ack and the commit-done multicast to the
+   collision module (:class:`ScalableBulkEngine`).
+"""
+
+from repro.core.cst import ChunkCommitState, CstEntry
+from repro.core.group import collision_module, order_gvec, successor
+from repro.core.directory_engine import ScalableBulkDirectory
+from repro.core.processor_engine import ScalableBulkEngine
+from repro.core.protocol import ScalableBulkProtocol
+
+__all__ = [
+    "ChunkCommitState",
+    "CstEntry",
+    "ScalableBulkDirectory",
+    "ScalableBulkEngine",
+    "ScalableBulkProtocol",
+    "collision_module",
+    "order_gvec",
+    "successor",
+]

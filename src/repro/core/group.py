@@ -1,0 +1,73 @@
+"""Group-ordering helpers (Section 3.2).
+
+The Group Formation protocol requires a *fixed traversal order* over
+directory modules to be deadlock- and livelock-free: `g` messages always
+flow from higher-priority to lower-priority modules, and the leader is the
+highest-priority member.
+
+With the baseline policy, priority is simply ascending module id (leader =
+lowest-numbered module).  For long-term fairness the priority can be
+rotated (Section 3.2.2): with offset ``k``, module ``k`` has the highest
+priority, ``k+1`` the next, and so on modulo the module count.  The
+committing processor fixes the order *at request time* and ships it in the
+``commit request``; every module uses the shipped order, so a rotation
+mid-commit cannot split a group's view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+def priority_rank(dir_id: int, n_dirs: int, offset: int = 0) -> int:
+    """Rank of a module under rotation ``offset`` (0 = highest priority)."""
+    return (dir_id - offset) % n_dirs
+
+
+def order_gvec(dirs: Iterable[int], n_dirs: int, offset: int = 0
+               ) -> Tuple[int, ...]:
+    """Traversal order for a group: leader first, then decreasing priority."""
+    return tuple(sorted(set(dirs), key=lambda d: priority_rank(d, n_dirs, offset)))
+
+
+def leader_of(order: Sequence[int]) -> int:
+    """The group leader is the highest-priority (first) module."""
+    if not order:
+        raise ValueError("empty group")
+    return order[0]
+
+
+def successor(order: Sequence[int], dir_id: int) -> int:
+    """Module to forward ``g`` to; the last member sends it back to the leader."""
+    idx = order.index(dir_id)
+    return order[(idx + 1) % len(order)]
+
+
+def is_last(order: Sequence[int], dir_id: int) -> bool:
+    return order and order[-1] == dir_id
+
+
+def collision_module(loser_order: Sequence[int], winner_dirs: Iterable[int]
+                     ) -> Optional[int]:
+    """The paper's Collision module: the highest-priority module common to
+    both groups, seen from the loser's traversal order.
+
+    Returns None when the groups share no directory (possible only under
+    signature aliasing, in which case the chunks are truly disjoint and the
+    processor defers the squash to the commit outcome instead of recalling).
+    """
+    winner = set(winner_dirs)
+    for d in loser_order:
+        if d in winner:
+            return d
+    return None
+
+
+__all__ = [
+    "collision_module",
+    "is_last",
+    "leader_of",
+    "order_gvec",
+    "priority_rank",
+    "successor",
+]

@@ -1,0 +1,14 @@
+"""Processor model: chunked execution of memory-access traces.
+
+Cores execute fixed-size chunks (default 2000 instructions, Table 2) at
+1 IPC, with memory stalls layered on top.  As a chunk executes, the core
+builds its read/write line sets, its R and W Bulk signatures, and the list
+of home directory modules touched (the ``g_vec`` of Table 1).  Completed
+chunks are handed to the machine's commit protocol; squashes roll the
+chunk (and any younger active chunk) back to a fresh execution attempt.
+"""
+
+from repro.cpu.chunk import Chunk, ChunkAccess, ChunkSpec, ChunkTag
+from repro.cpu.core import Core, CoreStats
+
+__all__ = ["Chunk", "ChunkAccess", "ChunkSpec", "ChunkTag", "Core", "CoreStats"]

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel used by every substrate.
+
+The kernel is deliberately tiny: a time-ordered event queue (`Simulator`)
+plus a deterministic, stream-splittable random-number helper
+(`DeterministicRng`).  All cycle-level components (cores, caches, the NoC,
+directory modules, protocol engines) schedule plain callables on the shared
+`Simulator` instance.
+"""
+
+from repro.engine.events import Event, Simulator
+from repro.engine.rng import DeterministicRng
+
+__all__ = ["Event", "Simulator", "DeterministicRng"]

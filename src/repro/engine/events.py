@@ -1,0 +1,137 @@
+"""Time-ordered event queue: the heart of the cycle-level simulator.
+
+Components never busy-wait; they schedule a callback at an absolute or
+relative cycle count.  Ties are broken by insertion order, which makes every
+simulation fully deterministic for a given seed and configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that heap ordering is total and
+    deterministic.  ``cancelled`` supports O(1) cancellation (the event stays
+    in the heap but is skipped when popped).
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer cycle time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10, lambda: print("fires at cycle 10"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.now + int(delay), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        ev = Event(time=int(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock once the next event would fire after that
+        cycle; ``max_events`` bounds total work (guards against protocol
+        livelock bugs in tests).
+        """
+        processed = 0
+        while self._heap:
+            nxt = self._peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                return
+            if not self.step():
+                break
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} at cycle {self.now}; "
+                    "possible livelock"
+                )
+
+    def _peek_time(self) -> Optional[int]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def quiescent(self) -> bool:
+        """True when no live events remain (used by conservation checks)."""
+        return self.pending_events == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={self.pending_events})"
+
+
+def drain(sim: Simulator, guard: int = 50_000_000) -> None:
+    """Run ``sim`` to quiescence with a livelock guard (test helper)."""
+    sim.run(max_events=guard)
+
+
+__all__ = ["Event", "Simulator", "drain"]

@@ -1,0 +1,108 @@
+"""Compare two sweep result files and report significant drifts.
+
+Usage::
+
+    python -m repro.harness.compare results/old.json results/new.json \
+        [--threshold 0.10]
+
+Prints per-(app, cores, protocol) relative changes in total cycles, commit
+latency and squash counts that exceed the threshold — the tool to run
+after touching the protocol or the workload models, so a calibration
+regression is caught before it silently rewrites EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: metrics compared, with the minimum absolute magnitude worth reporting
+METRICS = {
+    "total_cycles": 500,
+    "mean_commit_latency": 20,
+    "mean_dirs": 0.5,
+    "mean_queue": 0.5,
+    "squashes_conflict": 2,
+}
+
+
+@dataclass
+class Drift:
+    key: str
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 0.0
+        return (self.new - self.old) / abs(self.old)
+
+    def __str__(self) -> str:
+        rel = self.relative
+        arrow = "▲" if rel > 0 else "▼"
+        rel_s = "new" if rel == float("inf") else f"{rel * 100:+.1f}%"
+        return (f"{self.key:40s} {self.metric:20s} "
+                f"{self.old:10.1f} -> {self.new:10.1f}  {arrow} {rel_s}")
+
+
+def compare_records(old: Dict[str, dict], new: Dict[str, dict],
+                    threshold: float = 0.10) -> List[Drift]:
+    """All metric drifts beyond ``threshold`` (relative) between sweeps."""
+    drifts: List[Drift] = []
+    for key in sorted(set(old) & set(new)):
+        for metric, floor in METRICS.items():
+            a = float(old[key].get(metric, 0) or 0)
+            b = float(new[key].get(metric, 0) or 0)
+            if abs(b - a) < floor:
+                continue
+            if a == 0 or abs(b - a) / abs(a) >= threshold:
+                drifts.append(Drift(key, metric, a, b))
+    return drifts
+
+
+def missing_keys(old: Dict[str, dict], new: Dict[str, dict]):
+    """Runs present in one sweep but not the other."""
+    return sorted(set(old) - set(new)), sorted(set(new) - set(old))
+
+
+def render(drifts: Sequence[Drift], gone, added) -> str:
+    lines: List[str] = []
+    if gone:
+        lines.append(f"runs only in OLD ({len(gone)}): "
+                     + ", ".join(gone[:5]) + ("..." if len(gone) > 5 else ""))
+    if added:
+        lines.append(f"runs only in NEW ({len(added)}): "
+                     + ", ".join(added[:5])
+                     + ("..." if len(added) > 5 else ""))
+    if not drifts:
+        lines.append("no significant drifts")
+    else:
+        lines.append(f"{len(drifts)} significant drift(s):")
+        lines.extend(str(d) for d in drifts)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change worth reporting (default 10%%)")
+    args = parser.parse_args(argv)
+
+    old = json.loads(args.old.read_text())
+    new = json.loads(args.new.read_text())
+    drifts = compare_records(old, new, args.threshold)
+    gone, added = missing_keys(old, new)
+    print(render(drifts, gone, added))
+    return 1 if drifts else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

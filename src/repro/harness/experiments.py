@@ -1,0 +1,274 @@
+"""One entry point per paper table/figure (the per-experiment index of
+DESIGN.md).
+
+Every function takes scale knobs (``apps``, ``n_cores``,
+``chunks_per_partition``) so the pytest-benchmark suite can run a
+shape-preserving scaled-down version, while ``python -m
+repro.harness.sweep`` runs the full matrix for EXPERIMENTS.md.
+
+The single-processor baseline of Figures 7/8 runs the *same machine* with
+one active core executing every partition, exactly as the paper
+normalizes ("normalized to the execution time of single-processor runs on
+the same architecture with ScalableBulk").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import RunResult, SimulationRunner
+from repro.workloads.profiles import PARSEC_APPS, SPLASH2_APPS
+
+ALL_PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC,
+                 ProtocolKind.SEQ, ProtocolKind.BULKSC)
+
+#: Distributed protocols shown in the bottleneck-ratio figures (BulkSC
+#: forms no groups, so the paper omits it there).
+GROUPING_PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC,
+                      ProtocolKind.SEQ)
+
+#: Protocols with directory queues (Figures 16/17).
+QUEUEING_PROTOCOLS = (ProtocolKind.TCC, ProtocolKind.SEQ)
+
+
+def _run(app: str, n_cores: int, protocol: ProtocolKind,
+         chunks_per_partition: int, active_cores: Optional[int] = None,
+         n_partitions: Optional[int] = None, **overrides) -> RunResult:
+    config = SystemConfig(n_cores=n_cores, protocol=protocol, **overrides)
+    runner = SimulationRunner(app, config, active_cores=active_cores,
+                              chunks_per_partition=chunks_per_partition,
+                              n_partitions=n_partitions)
+    return runner.run()
+
+
+@dataclass
+class BreakdownBar:
+    """One bar of Figures 7/8: normalized time split into four categories."""
+
+    app: str
+    protocol: ProtocolKind
+    n_cores: int
+    normalized_time: float
+    speedup: float
+    useful: float
+    cache_miss: float
+    commit: float
+    squash: float
+
+    @classmethod
+    def from_result(cls, result: RunResult, baseline_cycles: int
+                    ) -> "BreakdownBar":
+        frac = result.breakdown_fractions()
+        norm = result.normalized_time(baseline_cycles)
+        return cls(
+            app=result.app, protocol=result.protocol, n_cores=result.n_cores,
+            normalized_time=norm,
+            speedup=result.speedup(baseline_cycles),
+            useful=norm * frac["Useful"],
+            cache_miss=norm * frac["Cache Miss"],
+            commit=norm * frac["Commit"],
+            squash=norm * frac["Squash"],
+        )
+
+
+@dataclass
+class Figure7Result:
+    """Figures 7/8: bars per (app, core count, protocol) + baselines."""
+
+    bars: List[BreakdownBar] = field(default_factory=list)
+    baselines: Dict[str, int] = field(default_factory=dict)  #: app -> 1p cycles
+
+    def bar(self, app: str, protocol: ProtocolKind, n_cores: int
+            ) -> BreakdownBar:
+        for b in self.bars:
+            if b.app == app and b.protocol == protocol and b.n_cores == n_cores:
+                return b
+        raise KeyError((app, protocol, n_cores))
+
+    def average_speedup(self, protocol: ProtocolKind, n_cores: int) -> float:
+        xs = [b.speedup for b in self.bars
+              if b.protocol == protocol and b.n_cores == n_cores]
+        return sum(xs) / len(xs) if xs else 0.0
+
+    def average_commit_fraction(self, protocol: ProtocolKind,
+                                n_cores: int) -> float:
+        bars = [b for b in self.bars
+                if b.protocol == protocol and b.n_cores == n_cores]
+        if not bars:
+            return 0.0
+        return sum(b.commit / max(b.normalized_time, 1e-12) for b in bars) / len(bars)
+
+
+def run_execution_time_figure(apps: Sequence[str],
+                              core_counts: Sequence[int] = (16, 64),
+                              protocols: Sequence[ProtocolKind] = ALL_PROTOCOLS,
+                              chunks_per_partition: int = 3,
+                              **overrides) -> Figure7Result:
+    """Figures 7 (SPLASH-2) / 8 (PARSEC): execution-time breakdowns.
+
+    The 1-processor ScalableBulk baseline is run once per app on the
+    largest machine in ``core_counts``.
+    """
+    out = Figure7Result()
+    base_cores = max(core_counts)
+    for app in apps:
+        # strong scaling: the partition count (total work) is pinned to
+        # the largest machine for every run of this app
+        baseline = _run(app, base_cores, ProtocolKind.SCALABLEBULK,
+                        chunks_per_partition, active_cores=1,
+                        n_partitions=base_cores, **overrides)
+        out.baselines[app] = baseline.total_cycles
+        for n in core_counts:
+            for proto in protocols:
+                res = _run(app, n, proto, chunks_per_partition,
+                           n_partitions=base_cores, **overrides)
+                out.bars.append(
+                    BreakdownBar.from_result(res, baseline.total_cycles))
+    return out
+
+
+def run_figure7(core_counts=(16, 64), chunks_per_partition=3,
+                apps: Optional[Sequence[str]] = None, **overrides
+                ) -> Figure7Result:
+    """Figure 7: SPLASH-2 execution times."""
+    return run_execution_time_figure(apps or SPLASH2_APPS, core_counts,
+                                     chunks_per_partition=chunks_per_partition,
+                                     **overrides)
+
+
+def run_figure8(core_counts=(16, 64), chunks_per_partition=3,
+                apps: Optional[Sequence[str]] = None, **overrides
+                ) -> Figure7Result:
+    """Figure 8: PARSEC execution times."""
+    return run_execution_time_figure(apps or PARSEC_APPS, core_counts,
+                                     chunks_per_partition=chunks_per_partition,
+                                     **overrides)
+
+
+@dataclass
+class DirsPerCommitRow:
+    """One bar of Figures 9/10 (split into write group and read group)."""
+
+    app: str
+    n_cores: int
+    mean_dirs: float
+    mean_write_dirs: float
+
+    @property
+    def mean_read_only_dirs(self) -> float:
+        return self.mean_dirs - self.mean_write_dirs
+
+
+def run_dirs_per_commit(apps: Sequence[str], core_counts=(16, 64),
+                        chunks_per_partition: int = 3, **overrides
+                        ) -> List[DirsPerCommitRow]:
+    """Figures 9/10: average directories per chunk commit (ScalableBulk)."""
+    rows = []
+    for app in apps:
+        for n in core_counts:
+            res = _run(app, n, ProtocolKind.SCALABLEBULK,
+                       chunks_per_partition, **overrides)
+            rows.append(DirsPerCommitRow(
+                app=app, n_cores=n, mean_dirs=res.mean_dirs_per_commit,
+                mean_write_dirs=res.mean_write_dirs_per_commit))
+    return rows
+
+
+def run_dirs_distribution(apps: Sequence[str], n_cores: int = 64,
+                          chunks_per_partition: int = 3, upper: int = 14,
+                          **overrides) -> Dict[str, Dict[object, float]]:
+    """Figures 11/12: distribution of directories per commit at 64p."""
+    out: Dict[str, Dict[object, float]] = {}
+    for app in apps:
+        config = SystemConfig(n_cores=n_cores,
+                              protocol=ProtocolKind.SCALABLEBULK, **overrides)
+        runner = SimulationRunner(app, config,
+                                  chunks_per_partition=chunks_per_partition)
+        res = runner.run(keep_machine=True)
+        hist = res.machine.protocol.stats.dirs_per_commit_hist
+        out[app] = hist.percentages(upper)
+    return out
+
+
+def run_commit_latency(apps: Sequence[str], n_cores: int = 64,
+                       protocols: Sequence[ProtocolKind] = ALL_PROTOCOLS,
+                       chunks_per_partition: int = 3, **overrides
+                       ) -> Dict[ProtocolKind, List[int]]:
+    """Figure 13: pooled commit-latency samples per protocol."""
+    out: Dict[ProtocolKind, List[int]] = {p: [] for p in protocols}
+    for proto in protocols:
+        for app in apps:
+            config = SystemConfig(n_cores=n_cores, protocol=proto, **overrides)
+            runner = SimulationRunner(app, config,
+                                      chunks_per_partition=chunks_per_partition)
+            res = runner.run(keep_machine=True)
+            hist = res.machine.protocol.stats.commit_latency_hist
+            for value, count in hist.counts().items():
+                out[proto].extend([value] * count)
+    return out
+
+
+def run_bottleneck_ratio(apps: Sequence[str], n_cores: int = 64,
+                         protocols: Sequence[ProtocolKind] = GROUPING_PROTOCOLS,
+                         chunks_per_partition: int = 3, **overrides
+                         ) -> Dict[str, Dict[ProtocolKind, float]]:
+    """Figures 14/15: bottleneck ratio per app per protocol."""
+    out: Dict[str, Dict[ProtocolKind, float]] = {}
+    for app in apps:
+        out[app] = {}
+        for proto in protocols:
+            res = _run(app, n_cores, proto, chunks_per_partition, **overrides)
+            out[app][proto] = res.bottleneck_ratio
+    return out
+
+
+def run_queue_length(apps: Sequence[str], n_cores: int = 64,
+                     protocols: Sequence[ProtocolKind] = QUEUEING_PROTOCOLS,
+                     chunks_per_partition: int = 3, **overrides
+                     ) -> Dict[str, Dict[ProtocolKind, float]]:
+    """Figures 16/17: average chunk queue length per app (TCC/SEQ)."""
+    out: Dict[str, Dict[ProtocolKind, float]] = {}
+    for app in apps:
+        out[app] = {}
+        for proto in protocols:
+            res = _run(app, n_cores, proto, chunks_per_partition, **overrides)
+            out[app][proto] = res.mean_queue_length
+    return out
+
+
+def run_traffic(apps: Sequence[str], n_cores: int = 64,
+                protocols: Sequence[ProtocolKind] = ALL_PROTOCOLS,
+                chunks_per_partition: int = 3, **overrides
+                ) -> Dict[str, Dict[ProtocolKind, Dict[str, int]]]:
+    """Figures 18/19: message counts by class, per app per protocol.
+
+    The figure normalizes each app's bars to TCC's total message count.
+    """
+    out: Dict[str, Dict[ProtocolKind, Dict[str, int]]] = {}
+    for app in apps:
+        out[app] = {}
+        for proto in protocols:
+            res = _run(app, n_cores, proto, chunks_per_partition, **overrides)
+            out[app][proto] = dict(res.traffic_by_class)
+    return out
+
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "BreakdownBar",
+    "DirsPerCommitRow",
+    "Figure7Result",
+    "GROUPING_PROTOCOLS",
+    "QUEUEING_PROTOCOLS",
+    "run_bottleneck_ratio",
+    "run_commit_latency",
+    "run_dirs_distribution",
+    "run_dirs_per_commit",
+    "run_execution_time_figure",
+    "run_figure7",
+    "run_figure8",
+    "run_queue_length",
+    "run_traffic",
+]

@@ -1,0 +1,125 @@
+"""Sensitivity studies around the paper's design arguments.
+
+Section 2.2 ("Is Commit Really Critical?") argues that earlier studies saw
+no commit bottleneck because their transactions were 10k-40k instructions,
+while uninstrumented BulkSC-style chunks are ~2k — an order of magnitude
+more commits to hide.  :func:`chunk_size_sweep` reproduces that argument
+directly: as chunks grow, every protocol's commit overhead fades and the
+protocols converge; at small chunks they separate.
+
+:func:`signature_sweep` explores the aliasing/space trade-off of the
+2 Kbit signature (Section 2.3), and :func:`backoff_sweep` the retry-policy
+sensitivity of group formation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import RunResult, SimulationRunner
+
+
+@dataclass
+class SweepPoint:
+    """One (x, protocol) measurement of a sensitivity sweep."""
+
+    x: int
+    protocol: ProtocolKind
+    total_cycles: int
+    commit_fraction: float
+    squash_fraction: float
+    mean_commit_latency: float
+    commits_per_kcycle: float
+    squashes_alias: int
+
+
+def _point(x: int, result: RunResult) -> SweepPoint:
+    frac = result.breakdown_fractions()
+    return SweepPoint(
+        x=x, protocol=result.protocol,
+        total_cycles=result.total_cycles,
+        commit_fraction=frac["Commit"],
+        squash_fraction=frac["Squash"],
+        mean_commit_latency=result.mean_commit_latency,
+        commits_per_kcycle=(1000.0 * result.chunks_committed
+                            / max(1, result.total_cycles)),
+        squashes_alias=result.squashes_alias,
+    )
+
+
+def chunk_size_sweep(app: str = "Radix", n_cores: int = 16,
+                     chunk_sizes: Sequence[int] = (1000, 2000, 8000, 20000),
+                     protocols: Sequence[ProtocolKind] = (
+                         ProtocolKind.SCALABLEBULK, ProtocolKind.SEQ),
+                     chunks_per_partition: int = 3) -> List[SweepPoint]:
+    """Commit criticality vs chunk size (the Section 2.2 argument).
+
+    The total work is held constant: bigger chunks -> proportionally fewer
+    of them.  The per-chunk footprint scales with chunk size (more
+    instructions touch more lines), mirroring how software-defined
+    transactions batch more work per commit.
+    """
+    points: List[SweepPoint] = []
+    base_chunk = 2000
+    total_chunks = chunks_per_partition  # per partition at base size
+    for size in chunk_sizes:
+        scale = size / base_chunk
+        cpp = max(1, round(total_chunks * base_chunk / size))
+        for proto in protocols:
+            config = SystemConfig(n_cores=n_cores, protocol=proto,
+                                  chunk_size_instructions=size)
+            runner = SimulationRunner(app, config,
+                                      chunks_per_partition=cpp,
+                                      access_scale=scale)
+            points.append(_point(size, runner.run()))
+    return points
+
+
+def signature_sweep(app: str = "Barnes", n_cores: int = 16,
+                    configs: Sequence = ((512, 2), (1024, 4), (2048, 4),
+                                         (2048, 8)),
+                    chunks_per_partition: int = 3) -> List[SweepPoint]:
+    """Aliasing squashes vs signature geometry (bits, banks)."""
+    points: List[SweepPoint] = []
+    for bits, banks in configs:
+        config = SystemConfig(n_cores=n_cores,
+                              protocol=ProtocolKind.SCALABLEBULK,
+                              signature_bits=bits, signature_banks=banks)
+        runner = SimulationRunner(app, config,
+                                  chunks_per_partition=chunks_per_partition)
+        points.append(_point(bits, runner.run()))
+    return points
+
+
+def backoff_sweep(app: str = "Canneal", n_cores: int = 16,
+                  backoffs: Sequence[int] = (10, 30, 100, 300),
+                  chunks_per_partition: int = 3) -> List[SweepPoint]:
+    """Retry-backoff sensitivity of group formation under contention."""
+    points: List[SweepPoint] = []
+    for backoff in backoffs:
+        config = SystemConfig(n_cores=n_cores,
+                              protocol=ProtocolKind.SCALABLEBULK,
+                              commit_retry_backoff_cycles=backoff)
+        runner = SimulationRunner(app, config,
+                                  chunks_per_partition=chunks_per_partition)
+        points.append(_point(backoff, runner.run()))
+    return points
+
+
+def render_sweep(points: List[SweepPoint], x_name: str) -> str:
+    """Text table of a sensitivity sweep."""
+    lines = [f"{x_name:>10s} {'protocol':14s} {'cycles':>9s} "
+             f"{'commit%':>8s} {'squash%':>8s} {'lat':>8s} "
+             f"{'commits/kcy':>11s}"]
+    for p in points:
+        lines.append(
+            f"{p.x:10d} {p.protocol.value:14s} {p.total_cycles:9d} "
+            f"{p.commit_fraction * 100:7.1f}% {p.squash_fraction * 100:7.1f}% "
+            f"{p.mean_commit_latency:8.1f} {p.commits_per_kcycle:11.2f}")
+    return "\n".join(lines)
+
+
+__all__ = ["SweepPoint", "backoff_sweep", "chunk_size_sweep",
+           "render_sweep", "signature_sweep"]

@@ -1,0 +1,360 @@
+"""Full experiment sweep: every table and figure, all 18 applications.
+
+Runs each (application, core count, protocol) combination once — plus the
+single-processor ScalableBulk baselines — extracts everything the paper's
+figures need, caches raw records as JSON (so interrupted sweeps resume),
+and renders EXPERIMENTS.md-ready markdown.
+
+Usage::
+
+    python -m repro.harness.sweep --cores 32 64 --chunks 3 \
+        --json results/sweep.json --markdown results/experiments.md
+    python -m repro.harness.sweep --quick     # 16-core smoke sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import SimulationRunner
+from repro.harness.tables import TRAFFIC_ORDER, normalize_traffic
+from repro.workloads.profiles import PARSEC_APPS, SPLASH2_APPS
+
+PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC, ProtocolKind.SEQ,
+             ProtocolKind.BULKSC)
+
+
+def run_one(app: str, n_cores: int, protocol: ProtocolKind,
+            chunks: int, active_cores: Optional[int] = None,
+            n_partitions: Optional[int] = None) -> dict:
+    """One simulation -> a JSON-serializable record.
+
+    ``n_partitions`` fixes the total work across machine sizes (strong
+    scaling): every run of one application must use the same partition
+    count or speedups are meaningless.
+    """
+    config = SystemConfig(n_cores=n_cores, protocol=protocol)
+    runner = SimulationRunner(app, config, active_cores=active_cores,
+                              chunks_per_partition=chunks,
+                              n_partitions=n_partitions)
+    t0 = time.time()
+    result = runner.run(keep_machine=True)
+    stats = result.machine.protocol.stats
+    record = {
+        "app": app,
+        "protocol": protocol.value,
+        "n_cores": n_cores,
+        "active_cores": result.active_cores,
+        "total_cycles": result.total_cycles,
+        "useful": result.useful_cycles,
+        "miss": result.miss_stall_cycles,
+        "commit": result.commit_stall_cycles,
+        "squash": result.squash_cycles,
+        "chunks_committed": result.chunks_committed,
+        "squashes_conflict": result.squashes_conflict,
+        "squashes_alias": result.squashes_alias,
+        "mean_commit_latency": result.mean_commit_latency,
+        "mean_dirs": result.mean_dirs_per_commit,
+        "mean_write_dirs": result.mean_write_dirs_per_commit,
+        "bottleneck_ratio": result.bottleneck_ratio,
+        "mean_queue": result.mean_queue_length,
+        "traffic": result.traffic_by_class,
+        "dirs_hist": {str(k): v for k, v in
+                      stats.dirs_per_commit_hist.counts().items()},
+        "latency_hist": {str(k): v for k, v in
+                         stats.commit_latency_hist.counts().items()},
+        "wall_seconds": round(time.time() - t0, 2),
+    }
+    return record
+
+
+def key_of(app: str, n_cores: int, protocol: str, active: int) -> str:
+    return f"{app}/{n_cores}/{protocol}/{active}"
+
+
+def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
+            cache_path: Optional[Path] = None,
+            log=print) -> Dict[str, dict]:
+    """Run the matrix, reusing any cached records."""
+    records: Dict[str, dict] = {}
+    if cache_path and cache_path.exists():
+        records = json.loads(cache_path.read_text())
+        log(f"loaded {len(records)} cached records from {cache_path}")
+
+    def save() -> None:
+        if cache_path:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(json.dumps(records))
+
+    big = max(core_counts)
+    total = len(apps) * (1 + len(core_counts) * len(PROTOCOLS))
+    done = 0
+    for app in apps:
+        # single-processor ScalableBulk baseline on the big machine;
+        # n_partitions is pinned to the big machine everywhere so every
+        # run of the app executes the identical total work
+        k = key_of(app, big, "baseline1p", 1)
+        if k not in records:
+            records[k] = run_one(app, big, ProtocolKind.SCALABLEBULK,
+                                 chunks, active_cores=1, n_partitions=big)
+            save()
+        done += 1
+        log(f"[{done}/{total}] {k}: {records[k]['total_cycles']} cycles "
+            f"({records[k]['wall_seconds']}s)")
+        for n in core_counts:
+            for proto in PROTOCOLS:
+                k = key_of(app, n, proto.value, n)
+                if k not in records:
+                    records[k] = run_one(app, n, proto, chunks,
+                                         n_partitions=big)
+                    save()
+                done += 1
+                log(f"[{done}/{total}] {k}: "
+                    f"{records[k]['total_cycles']} cycles "
+                    f"({records[k]['wall_seconds']}s)")
+    save()
+    return records
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _norm(rec: dict, base: dict) -> dict:
+    """Per-bar normalized breakdown (Figs. 7/8)."""
+    total = max(1, rec["useful"] + rec["miss"] + rec["commit"] + rec["squash"])
+    norm_time = rec["total_cycles"] / max(1, base["total_cycles"])
+    return {
+        "norm": norm_time,
+        "speedup": base["total_cycles"] / max(1, rec["total_cycles"]),
+        "useful": norm_time * rec["useful"] / total,
+        "miss": norm_time * rec["miss"] / total,
+        "commit": norm_time * rec["commit"] / total,
+        "squash": norm_time * rec["squash"] / total,
+    }
+
+
+def render_markdown(records: Dict[str, dict], apps: Sequence[str],
+                    core_counts: Sequence[int], chunks: int) -> str:
+    big = max(core_counts)
+    lines: List[str] = []
+    w = lines.append
+
+    def rec(app, n, proto):
+        return records[key_of(app, n, proto, n)]
+
+    def base(app):
+        return records[key_of(app, big, "baseline1p", 1)]
+
+    splash = [a for a in apps if a in SPLASH2_APPS]
+    parsec = [a for a in apps if a in PARSEC_APPS]
+
+    w(f"Sweep parameters: cores={list(core_counts)}, "
+      f"chunks/partition={chunks}, "
+      f"chunk={SystemConfig().chunk_size_instructions} instructions, "
+      f"{len(apps)} applications.\n")
+
+    # Figures 7/8 ------------------------------------------------------
+    for figno, suite, suite_apps in (("7", "SPLASH-2", splash),
+                                     ("8", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — {suite} execution time "
+          f"(normalized to 1p ScalableBulk)\n")
+        w("| app | cores | protocol | norm. time | speedup | useful | "
+          "miss | commit | squash |")
+        w("|---|---|---|---|---|---|---|---|---|")
+        for app in suite_apps:
+            for n in core_counts:
+                for proto in PROTOCOLS:
+                    r = rec(app, n, proto.value)
+                    nb = _norm(r, base(app))
+                    w(f"| {app} | {n} | {proto.value} | {nb['norm']:.4f} | "
+                      f"{nb['speedup']:.1f} | {nb['useful']:.4f} | "
+                      f"{nb['miss']:.4f} | {nb['commit']:.4f} | "
+                      f"{nb['squash']:.4f} |")
+        w("")
+        for n in core_counts:
+            for proto in PROTOCOLS:
+                speedups = [_norm(rec(a, n, proto.value), base(a))["speedup"]
+                            for a in suite_apps]
+                avg = sum(speedups) / len(speedups)
+                w(f"* AVERAGE speedup, {proto.value} @ {n}p: **{avg:.1f}**")
+        w("")
+
+    # Figures 9/10 ------------------------------------------------------
+    for figno, suite, suite_apps in (("9", "SPLASH-2", splash),
+                                     ("10", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — directories per chunk commit ({suite})\n")
+        w("| app | cores | dirs/commit | write group | read-only group |")
+        w("|---|---|---|---|---|")
+        for app in suite_apps:
+            for n in core_counts:
+                r = rec(app, n, ProtocolKind.SCALABLEBULK.value)
+                w(f"| {app} | {n} | {r['mean_dirs']:.2f} | "
+                  f"{r['mean_write_dirs']:.2f} | "
+                  f"{r['mean_dirs'] - r['mean_write_dirs']:.2f} |")
+        w("")
+
+    # Figures 11/12 -----------------------------------------------------
+    for figno, suite, suite_apps in (("11", "SPLASH-2", splash),
+                                     ("12", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — distribution of dirs/commit "
+          f"({suite}, {big}p, % of commits)\n")
+        cols = list(range(15)) + ["more"]
+        w("| app | " + " | ".join(str(c) for c in cols) + " |")
+        w("|---|" + "---|" * len(cols))
+        for app in suite_apps:
+            hist = rec(app, big, ProtocolKind.SCALABLEBULK.value)["dirs_hist"]
+            n_total = sum(hist.values()) or 1
+            pct = {}
+            more = 0.0
+            for k, v in hist.items():
+                ki = int(k)
+                if ki <= 14:
+                    pct[ki] = pct.get(ki, 0) + 100 * v / n_total
+                else:
+                    more += 100 * v / n_total
+            row = " | ".join(f"{pct.get(c, 0):.0f}" for c in range(15))
+            w(f"| {app} | {row} | {more:.0f} |")
+        w("")
+
+    # Figure 13 ----------------------------------------------------------
+    w(f"### Figure 13 — commit latency ({big}p, mean cycles over all apps)\n")
+    w("| protocol | measured mean | paper mean (64p) |")
+    w("|---|---|---|")
+    paper_means = {"ScalableBulk": 91, "TCC": 411, "SEQ": 153,
+                   "BulkSC": 2954}
+    for proto in PROTOCOLS:
+        lats, count = 0.0, 0
+        for app in apps:
+            hist = rec(app, big, proto.value)["latency_hist"]
+            for k, v in hist.items():
+                lats += int(k) * v
+                count += v
+        mean = lats / count if count else 0.0
+        w(f"| {proto.value} | {mean:.0f} | {paper_means[proto.value]} |")
+    w("")
+    if len(core_counts) > 1:
+        small = min(core_counts)
+        w(f"At {small}p, measured means: " + ", ".join(
+            f"{proto.value}="
+            f"{_mean_latency(records, apps, small, proto.value):.0f}"
+            for proto in PROTOCOLS)
+          + " (paper at 32p: ScalableBulk=74, TCC=402, SEQ=107, BulkSC=98)\n")
+
+    # Figures 14/15 -------------------------------------------------------
+    for figno, suite, suite_apps in (("14", "SPLASH-2", splash),
+                                     ("15", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — bottleneck ratio ({suite}, {big}p)\n")
+        w("| app | ScalableBulk | TCC | SEQ |")
+        w("|---|---|---|---|")
+        for app in suite_apps:
+            vals = [rec(app, big, p.value)["bottleneck_ratio"]
+                    for p in (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC,
+                              ProtocolKind.SEQ)]
+            w(f"| {app} | " + " | ".join(f"{v:.2f}" for v in vals) + " |")
+        w("")
+
+    # Figures 16/17 -------------------------------------------------------
+    for figno, suite, suite_apps in (("16", "SPLASH-2", splash),
+                                     ("17", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — chunk queue length ({suite}, {big}p)\n")
+        w("| app | TCC | SEQ | ScalableBulk |")
+        w("|---|---|---|---|")
+        for app in suite_apps:
+            vals = [rec(app, big, p.value)["mean_queue"]
+                    for p in (ProtocolKind.TCC, ProtocolKind.SEQ,
+                              ProtocolKind.SCALABLEBULK)]
+            w(f"| {app} | " + " | ".join(f"{v:.2f}" for v in vals) + " |")
+        w("")
+
+    # Figures 18/19 --------------------------------------------------------
+    for figno, suite, suite_apps in (("18", "SPLASH-2", splash),
+                                     ("19", "PARSEC", parsec)):
+        if not suite_apps:
+            continue
+        w(f"### Figure {figno} — message mix ({suite}, {big}p, % of TCC "
+          f"total)\n")
+        w("| app | protocol | " + " | ".join(TRAFFIC_ORDER) + " | total |")
+        w("|---|---|" + "---|" * (len(TRAFFIC_ORDER) + 1))
+        for app in suite_apps:
+            per_proto = {p: rec(app, big, p.value)["traffic"]
+                         for p in PROTOCOLS}
+            norm = normalize_traffic(per_proto)
+            for proto in PROTOCOLS:
+                mix = norm[proto]
+                total = sum(mix.values())
+                row = " | ".join(f"{mix[k]:.1f}" for k in TRAFFIC_ORDER)
+                w(f"| {app} | {proto.value} | {row} | {total:.1f} |")
+        w("")
+
+    # Squash summary (Section 6.1 numbers) ---------------------------------
+    w(f"### Squash rates (ScalableBulk, {big}p; paper: 1.5% conflicts + "
+      f"2.3% aliasing)\n")
+    total_chunks = total_conf = total_alias = 0
+    for app in apps:
+        r = rec(app, big, ProtocolKind.SCALABLEBULK.value)
+        total_chunks += r["chunks_committed"]
+        total_conf += r["squashes_conflict"]
+        total_alias += r["squashes_alias"]
+    w(f"* conflicts: {100 * total_conf / max(1, total_chunks):.1f}% of "
+      f"chunks; aliasing: {100 * total_alias / max(1, total_chunks):.1f}%\n")
+
+    return "\n".join(lines)
+
+
+def _mean_latency(records, apps, n, proto) -> float:
+    lats = count = 0
+    for app in apps:
+        hist = records[key_of(app, n, proto, n)]["latency_hist"]
+        for k, v in hist.items():
+            lats += int(k) * v
+            count += v
+    return lats / count if count else 0.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, nargs="+", default=[32, 64])
+    parser.add_argument("--chunks", type=int, default=3)
+    parser.add_argument("--apps", nargs="+",
+                        default=list(SPLASH2_APPS) + list(PARSEC_APPS))
+    parser.add_argument("--json", type=Path,
+                        default=Path("results/sweep.json"))
+    parser.add_argument("--markdown", type=Path,
+                        default=Path("results/experiments.md"))
+    parser.add_argument("--quick", action="store_true",
+                        help="16-core, 4-app smoke sweep")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.cores = [16]
+        args.apps = ["Radix", "LU", "Barnes", "Canneal"]
+        args.chunks = 2
+
+    records = collect(args.apps, args.cores, args.chunks,
+                      cache_path=args.json)
+    md = render_markdown(records, args.apps, args.cores, args.chunks)
+    args.markdown.parent.mkdir(parents=True, exist_ok=True)
+    args.markdown.write_text(md)
+    print(f"\nwrote {args.markdown} ({len(md.splitlines())} lines), "
+          f"raw records in {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Plain-text renderers that print the paper's rows/series.
+
+Each renderer takes the output of the corresponding
+:mod:`repro.harness.experiments` function and produces the same structure
+the paper's figure shows (stacked-bar components, per-app series,
+normalized message mixes), as text tables suitable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import DirsPerCommitRow, Figure7Result
+from repro.network.message import TrafficClass
+from repro.stats.histograms import bucketize
+
+
+def _fmt(x: float, width: int = 7, prec: int = 3) -> str:
+    return f"{x:{width}.{prec}f}"
+
+
+def render_breakdown(fig: Figure7Result, protocols: Sequence[ProtocolKind],
+                     core_counts: Sequence[int]) -> str:
+    """Figures 7/8 as text: one row per (app, cores, protocol) bar."""
+    lines = [
+        f"{'app':14s} {'cores':>5s} {'protocol':12s} {'norm.T':>7s} "
+        f"{'speedup':>7s} {'useful':>7s} {'miss':>7s} {'commit':>7s} "
+        f"{'squash':>7s}"
+    ]
+    apps = sorted({b.app for b in fig.bars})
+    for app in apps:
+        for n in core_counts:
+            for proto in protocols:
+                try:
+                    b = fig.bar(app, proto, n)
+                except KeyError:
+                    continue
+                lines.append(
+                    f"{app:14s} {n:5d} {proto.value:12s} "
+                    f"{_fmt(b.normalized_time)} {b.speedup:7.1f} "
+                    f"{_fmt(b.useful)} {_fmt(b.cache_miss)} "
+                    f"{_fmt(b.commit)} {_fmt(b.squash)}"
+                )
+    for n in core_counts:
+        for proto in protocols:
+            avg = fig.average_speedup(proto, n)
+            if avg:
+                lines.append(
+                    f"{'AVERAGE':14s} {n:5d} {proto.value:12s} "
+                    f"{'':7s} {avg:7.1f}")
+    return "\n".join(lines)
+
+
+def render_dirs_per_commit(rows: Iterable[DirsPerCommitRow]) -> str:
+    """Figures 9/10 as text: write-group / read-group split per app."""
+    lines = [f"{'app':14s} {'cores':>5s} {'dirs':>6s} {'write':>6s} "
+             f"{'read-only':>9s}"]
+    for r in rows:
+        lines.append(
+            f"{r.app:14s} {r.n_cores:5d} {r.mean_dirs:6.2f} "
+            f"{r.mean_write_dirs:6.2f} {r.mean_read_only_dirs:9.2f}")
+    return "\n".join(lines)
+
+
+def render_distribution(dist: Mapping[str, Mapping[object, float]],
+                        upper: int = 14) -> str:
+    """Figures 11/12 as text: percentage at each directory count."""
+    cols = list(range(upper + 1)) + ["more"]
+    header = f"{'app':14s} " + " ".join(f"{c!s:>5s}" for c in cols)
+    lines = [header]
+    for app, pct in dist.items():
+        row = " ".join(f"{pct.get(c, 0.0):5.1f}" for c in cols)
+        lines.append(f"{app:14s} {row}")
+    return "\n".join(lines)
+
+
+def render_commit_latency(samples: Mapping[ProtocolKind, List[int]],
+                          bucket_width: int = 50, n_buckets: int = 16) -> str:
+    """Figure 13 as text: per-protocol mean and latency histogram."""
+    lines = []
+    for proto, values in samples.items():
+        if not values:
+            lines.append(f"{proto.value:12s} (no commits)")
+            continue
+        mean = sum(values) / len(values)
+        lines.append(f"{proto.value:12s} mean={mean:8.1f} cycles  "
+                     f"n={len(values)}")
+        for lo, count in bucketize(values, bucket_width, n_buckets):
+            pct = 100.0 * count / len(values)
+            bar = "#" * int(pct / 2)
+            lines.append(f"  {int(lo):>6d}+ {pct:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def render_ratio_table(data: Mapping[str, Mapping[ProtocolKind, float]],
+                       title: str) -> str:
+    """Figures 14-17 as text: one row per app, one column per protocol."""
+    protos: List[ProtocolKind] = []
+    for per_app in data.values():
+        for p in per_app:
+            if p not in protos:
+                protos.append(p)
+    header = f"{'app':14s} " + " ".join(f"{p.value:>12s}" for p in protos)
+    lines = [title, header]
+    for app, per_app in data.items():
+        row = " ".join(f"{per_app.get(p, 0.0):12.2f}" for p in protos)
+        lines.append(f"{app:14s} {row}")
+    if data:
+        avg_row = []
+        for p in protos:
+            vals = [per_app[p] for per_app in data.values() if p in per_app]
+            avg_row.append(sum(vals) / len(vals) if vals else 0.0)
+        lines.append(f"{'AVERAGE':14s} " +
+                     " ".join(f"{v:12.2f}" for v in avg_row))
+    return "\n".join(lines)
+
+
+#: Display order for the traffic figures (read classes then commit classes).
+TRAFFIC_ORDER = ("MemRd", "RemoteShRd", "RemoteDirtyRd", "LargeCMessage",
+                 "SmallCMessage")
+
+
+def normalize_traffic(per_proto: Mapping[ProtocolKind, Mapping[str, int]]
+                      ) -> Dict[ProtocolKind, Dict[str, float]]:
+    """Normalize message counts to TCC's total, folding request/forward
+    control traffic ('Other') into the read class mix as the paper does."""
+    def folded(counts: Mapping[str, int]) -> Dict[str, float]:
+        out = {k: float(counts.get(k, 0)) for k in TRAFFIC_ORDER}
+        other = float(counts.get(TrafficClass.OTHER.value, 0))
+        reads = out["MemRd"] + out["RemoteShRd"] + out["RemoteDirtyRd"]
+        if reads > 0:
+            for k in ("MemRd", "RemoteShRd", "RemoteDirtyRd"):
+                out[k] += other * out[k] / reads
+        else:
+            out["MemRd"] += other
+        return out
+
+    tcc = per_proto.get(ProtocolKind.TCC)
+    tcc_total = sum(folded(tcc).values()) if tcc else None
+    result: Dict[ProtocolKind, Dict[str, float]] = {}
+    for proto, counts in per_proto.items():
+        f = folded(counts)
+        denom = tcc_total or sum(f.values()) or 1.0
+        result[proto] = {k: 100.0 * v / denom for k, v in f.items()}
+    return result
+
+
+def render_traffic(data: Mapping[str, Mapping[ProtocolKind, Mapping[str, int]]]
+                   ) -> str:
+    """Figures 18/19 as text: message mix normalized to TCC per app."""
+    lines = [f"{'app':14s} {'protocol':12s} " +
+             " ".join(f"{k:>14s}" for k in TRAFFIC_ORDER) + f" {'total':>8s}"]
+    for app, per_proto in data.items():
+        norm = normalize_traffic(per_proto)
+        for proto, mix in norm.items():
+            total = sum(mix.values())
+            row = " ".join(f"{mix[k]:14.1f}" for k in TRAFFIC_ORDER)
+            lines.append(f"{app:14s} {proto.value:12s} {row} {total:8.1f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TRAFFIC_ORDER",
+    "normalize_traffic",
+    "render_breakdown",
+    "render_commit_latency",
+    "render_dirs_per_commit",
+    "render_distribution",
+    "render_ratio_table",
+    "render_traffic",
+]

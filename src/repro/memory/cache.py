@@ -1,0 +1,162 @@
+"""Set-associative cache with LRU replacement and speculative-line support.
+
+Lines are identified by *line address* (byte address // line size).  Each
+line can carry a speculative-writer tag (the chunk that wrote it before
+committing).  The replacement policy avoids evicting speculative lines when
+a non-speculative victim exists; if every way in a set is speculative the
+eviction reports an *overflow*, which forces the owning chunk to commit
+early (paper Section 2.2: "cache overflows ... can further reduce the
+average size" of chunks).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident line."""
+
+    line_addr: int
+    dirty: bool = False                 #: committed-dirty (owner copy)
+    spec_writer: Optional[object] = None  #: chunk tag of uncommitted write
+
+
+@dataclass
+class EvictionResult:
+    """Outcome of a fill that displaced a resident line."""
+
+    line: Optional[CacheLine] = None    #: the victim (None if a way was free)
+    overflow_ctag: Optional[object] = None  #: set when only speculative victims existed
+
+    @property
+    def wrote_back(self) -> bool:
+        return self.line is not None and self.line.dirty
+
+
+class Cache:
+    """One level of set-associative cache, LRU within each set."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        # set index -> OrderedDict[line_addr, CacheLine]; LRU order = insertion
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.n_sets
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        return self._sets.setdefault(self._set_index(line_addr), OrderedDict())
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line or None; updates LRU on hit."""
+        s = self._sets.get(self._set_index(line_addr))
+        if s is None or line_addr not in s:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            s.move_to_end(line_addr)
+        return s[line_addr]
+
+    def peek(self, line_addr: int) -> Optional[CacheLine]:
+        """Lookup without LRU update or hit/miss accounting."""
+        s = self._sets.get(self._set_index(line_addr))
+        return s.get(line_addr) if s else None
+
+    def fill(self, line_addr: int) -> EvictionResult:
+        """Insert a line, evicting the LRU non-speculative way if needed."""
+        s = self._set_for(line_addr)
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return EvictionResult()
+        result = EvictionResult()
+        if len(s) >= self.assoc:
+            victim_addr = None
+            for addr, line in s.items():  # iterates LRU -> MRU
+                if line.spec_writer is None:
+                    victim_addr = addr
+                    break
+            if victim_addr is None:
+                # Every way holds uncommitted speculative data: overflow.
+                # Report the LRU way's owner; the caller must commit it early.
+                lru_addr, lru_line = next(iter(s.items()))
+                result.overflow_ctag = lru_line.spec_writer
+                victim_addr = lru_addr
+            result.line = s.pop(victim_addr)
+            self.evictions += 1
+        s[line_addr] = CacheLine(line_addr)
+        return result
+
+    # ------------------------------------------------------------------
+    # State changes
+    # ------------------------------------------------------------------
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Drop a line (bulk invalidation / squash). Returns it if present."""
+        s = self._sets.get(self._set_index(line_addr))
+        if s and line_addr in s:
+            return s.pop(line_addr)
+        return None
+
+    def mark_spec_write(self, line_addr: int, ctag: object) -> bool:
+        """Tag a resident line as speculatively written by ``ctag``."""
+        line = self.peek(line_addr)
+        if line is None:
+            return False
+        line.spec_writer = ctag
+        return True
+
+    def commit_spec(self, line_addr: int, ctag: object) -> bool:
+        """Promote a speculative line to committed-dirty state."""
+        line = self.peek(line_addr)
+        if line is None or line.spec_writer != ctag:
+            return False
+        line.spec_writer = None
+        line.dirty = True
+        return True
+
+    def clear_dirty(self, line_addr: int) -> None:
+        line = self.peek(line_addr)
+        if line is not None:
+            line.dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_lines(self):
+        """Iterate all resident line addresses (tests / validators)."""
+        for s in self._sets.values():
+            yield from s.keys()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, line_addr: int) -> bool:
+        s = self._sets.get(self._set_index(line_addr))
+        return bool(s) and line_addr in s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Cache(sets={self.n_sets}, assoc={self.assoc}, "
+                f"occupancy={self.occupancy})")
+
+
+__all__ = ["Cache", "CacheLine", "EvictionResult"]

@@ -1,0 +1,41 @@
+"""On-chip interconnect: 2D torus NoC with per-link contention.
+
+The machine in Figure 1 of the paper is a tiled multicore: each tile hosts
+a core (+ private L1/L2) and one directory module, connected by a 2D torus
+(Table 2: 7-cycle links, modelled after Das et al.'s NoC simulator).
+
+This package provides:
+
+* :mod:`repro.network.message` — every message type in the system,
+  including the ten ScalableBulk types of Table 1, the coherence-miss
+  messages, and the baseline-protocol messages, each tagged with the
+  traffic class used by the paper's Figures 18/19.
+* :mod:`repro.network.topology` — torus coordinates and dimension-order
+  routing.
+* :mod:`repro.network.noc` — the network itself: latency, per-link FIFO
+  contention, delivery scheduling, and traffic accounting.
+"""
+
+from repro.network.message import (
+    Message,
+    MessageType,
+    NodeRef,
+    TrafficClass,
+    arbiter_node,
+    core_node,
+    dir_node,
+)
+from repro.network.topology import Torus2D
+from repro.network.noc import Network
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "NodeRef",
+    "TrafficClass",
+    "Network",
+    "Torus2D",
+    "core_node",
+    "dir_node",
+    "arbiter_node",
+]

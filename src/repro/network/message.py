@@ -1,0 +1,248 @@
+"""Message vocabulary for all four protocols plus the coherence substrate.
+
+The ScalableBulk types follow Table 1 of the paper exactly:
+
+===================  =========================================  ==========
+Type                 Contents                                   Direction
+===================  =========================================  ==========
+COMMIT_REQUEST       C_Tag, W Sig, R Sig, g_vec                 Proc -> Dir(s)
+G                    C_Tag, inval_vec  ("grab")                 Dir -> Dir
+G_FAILURE            C_Tag                                      Dir -> Dir(s)
+G_SUCCESS            C_Tag                                      Dir -> Dir(s)
+COMMIT_FAILURE       C_Tag                                      Dir -> Proc
+COMMIT_SUCCESS       C_Tag                                      Dir -> Proc
+BULK_INV             C_Tag, W Sig                               Dir -> Proc(s)
+BULK_INV_ACK         C_Tag                                      Proc -> Dir
+COMMIT_DONE          C_Tag                                      Dir -> Dir(s)
+COMMIT_RECALL        C_Tag, Dir ID (piggy-backed)               Proc -> Dir, Dir -> Dir
+===================  =========================================  ==========
+
+``COMMIT_RECALL`` is never a standalone packet: per the paper it rides on a
+``BULK_INV_ACK`` and then on a ``COMMIT_DONE``.  We model that as a payload
+flag on those carriers (zero extra network cost) while still counting the
+recall event for protocol statistics.
+
+Traffic classes match the paper's Figures 18/19 message characterization:
+MemRd, RemoteShRd, RemoteDirtyRd, LargeCMessage (signature-carrying commit
+messages), SmallCMessage (all other commit messages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, NamedTuple, Optional
+
+
+class TrafficClass(Enum):
+    """Message categories from the paper's traffic characterization."""
+
+    MEM_RD = "MemRd"                    #: cache-line read satisfied by memory
+    REMOTE_SH_RD = "RemoteShRd"         #: line read from a remote cache (shared)
+    REMOTE_DIRTY_RD = "RemoteDirtyRd"   #: line read from a remote cache (dirty)
+    LARGE_COMMIT = "LargeCMessage"      #: commit message carrying a signature
+    SMALL_COMMIT = "SmallCMessage"      #: all other commit-protocol messages
+    OTHER = "Other"                     #: miss-request/forward control traffic
+                                        #: (the paper folds these into the read
+                                        #: classes; our figure renderer does too)
+
+
+class MessageType(Enum):
+    """All message types across the substrate and the four protocols."""
+
+    # --- coherence substrate (read misses; writes are lazy) -------------
+    READ_REQ = "read_req"                 #: Proc -> Dir: L2 miss
+    READ_NACK = "read_nack"               #: Dir -> Proc: line locked by a commit
+    DATA_FROM_MEM = "data_from_mem"       #: Dir -> Proc: filled from memory
+    FWD_READ = "fwd_read"                 #: Dir -> Proc(owner): forward request
+    DATA_FROM_SHARER = "data_from_sharer"  #: owner -> Proc: clean remote hit
+    DATA_FROM_OWNER = "data_from_owner"   #: owner -> Proc: dirty remote hit
+    WRITEBACK = "writeback"               #: Proc -> Dir: dirty L2 eviction
+    BULK_INV_NACK = "bulk_inv_nack"       #: Proc -> Dir: conservative (non-OCI)
+                                          #: processor bounces an invalidation
+
+    # --- ScalableBulk (paper Table 1) ------------------------------------
+    COMMIT_REQUEST = "commit_request"
+    G = "g"
+    G_FAILURE = "g_failure"
+    G_SUCCESS = "g_success"
+    COMMIT_FAILURE = "commit_failure"
+    COMMIT_SUCCESS = "commit_success"
+    BULK_INV = "bulk_inv"
+    BULK_INV_ACK = "bulk_inv_ack"
+    COMMIT_DONE = "commit_done"
+    COMMIT_RECALL = "commit_recall"       #: accounting only; always piggy-backed
+
+    # --- BulkSC (centralized arbiter) -------------------------------------
+    BSC_COMMIT_REQ = "bsc_commit_req"     #: Proc -> Arbiter, carries (R, W)
+    BSC_OK = "bsc_ok"                     #: Arbiter -> Proc: permission granted
+    BSC_NACK = "bsc_nack"                 #: Arbiter -> Proc: retry later
+    BSC_W_TO_DIR = "bsc_w_to_dir"         #: Arbiter -> Dir(s): W for state update
+    BSC_DIR_DONE = "bsc_dir_done"         #: Dir -> Arbiter: state updated
+    BSC_DONE = "bsc_done"                 #: Proc -> Arbiter: commit complete
+
+    # --- Scalable TCC ------------------------------------------------------
+    TID_REQ = "tid_req"                   #: Proc -> central TID vendor
+    TID_GRANT = "tid_grant"               #: vendor -> Proc
+    TCC_PROBE = "tcc_probe"               #: Proc -> Dir in R/W set
+    TCC_SKIP = "tcc_skip"                 #: Proc -> every other Dir (broadcast!)
+    TCC_MARK = "tcc_mark"                 #: Proc -> Dir, one per written line
+    TCC_INV = "tcc_inv"                   #: Dir -> sharer Proc
+    TCC_INV_ACK = "tcc_inv_ack"           #: Proc -> Dir
+    TCC_DIR_DONE = "tcc_dir_done"         #: Dir -> Proc: this dir finished TID
+    TCC_COMMIT_DONE = "tcc_commit_done"   #: Proc -> Dir(s): release
+
+    # --- SEQ (SEQ-PRO) -------------------------------------------------------
+    SEQ_OCCUPY = "seq_occupy"             #: Proc -> Dir: occupy in ascending order
+    SEQ_GRANT = "seq_grant"               #: Dir -> Proc
+    SEQ_COMMIT = "seq_commit"             #: Proc -> Dir(s): all occupied, commit
+    SEQ_INV = "seq_inv"                   #: Dir -> sharer Proc
+    SEQ_INV_ACK = "seq_inv_ack"           #: Proc -> Dir
+    SEQ_DONE = "seq_done"                 #: Dir -> Proc: this module finished
+    SEQ_RELEASE = "seq_release"           #: Proc -> Dir: free the module (abort)
+
+
+#: Byte sizes.  Signature-carrying messages are "large"; control messages
+#: are small; data replies carry one 32 B line + header.  Signatures are
+#: 2 Kbit registers but travel *compressed* (the paper: "the compressed R
+#: and W signatures ... are sent to the directory modules"); at chunk
+#: densities run-length coding lands around 3x compression.
+HEADER_BYTES = 8
+SIGNATURE_BYTES = 96           # 2 Kbit, compressed on the wire
+LINE_BYTES = 32
+
+_SIG_CARRIERS = {
+    MessageType.COMMIT_REQUEST: 2 * SIGNATURE_BYTES + HEADER_BYTES,  # R and W
+    MessageType.BULK_INV: SIGNATURE_BYTES + HEADER_BYTES,
+    MessageType.BSC_COMMIT_REQ: 2 * SIGNATURE_BYTES + HEADER_BYTES,
+    MessageType.BSC_W_TO_DIR: SIGNATURE_BYTES + HEADER_BYTES,
+}
+
+_DATA_CARRIERS = {
+    MessageType.DATA_FROM_MEM,
+    MessageType.DATA_FROM_SHARER,
+    MessageType.DATA_FROM_OWNER,
+}
+
+_COMMIT_TYPES = {
+    MessageType.COMMIT_REQUEST, MessageType.G, MessageType.G_FAILURE,
+    MessageType.G_SUCCESS, MessageType.COMMIT_FAILURE, MessageType.COMMIT_SUCCESS,
+    MessageType.BULK_INV, MessageType.BULK_INV_ACK, MessageType.COMMIT_DONE,
+    MessageType.COMMIT_RECALL, MessageType.BULK_INV_NACK,
+    MessageType.BSC_COMMIT_REQ, MessageType.BSC_OK, MessageType.BSC_NACK,
+    MessageType.BSC_W_TO_DIR, MessageType.BSC_DIR_DONE, MessageType.BSC_DONE,
+    MessageType.TID_REQ, MessageType.TID_GRANT, MessageType.TCC_PROBE,
+    MessageType.TCC_SKIP, MessageType.TCC_MARK, MessageType.TCC_INV,
+    MessageType.TCC_INV_ACK, MessageType.TCC_DIR_DONE, MessageType.TCC_COMMIT_DONE,
+    MessageType.SEQ_OCCUPY, MessageType.SEQ_GRANT, MessageType.SEQ_INV,
+    MessageType.SEQ_INV_ACK, MessageType.SEQ_RELEASE, MessageType.SEQ_COMMIT,
+    MessageType.SEQ_DONE,
+}
+
+
+def default_size_bytes(mtype: MessageType) -> int:
+    """Wire size of a message of the given type."""
+    if mtype in _SIG_CARRIERS:
+        return _SIG_CARRIERS[mtype]
+    if mtype in _DATA_CARRIERS:
+        return LINE_BYTES + HEADER_BYTES
+    return HEADER_BYTES + 8
+
+
+def traffic_class_of(mtype: MessageType) -> TrafficClass:
+    """Map a message type to the paper's Fig. 18/19 traffic class."""
+    if mtype is MessageType.DATA_FROM_MEM:
+        return TrafficClass.MEM_RD
+    if mtype is MessageType.DATA_FROM_SHARER:
+        return TrafficClass.REMOTE_SH_RD
+    if mtype is MessageType.DATA_FROM_OWNER:
+        return TrafficClass.REMOTE_DIRTY_RD
+    if mtype in _SIG_CARRIERS:
+        return TrafficClass.LARGE_COMMIT
+    if mtype in _COMMIT_TYPES:
+        return TrafficClass.SMALL_COMMIT
+    # Miss-request and forward messages: replies carry the read class; the
+    # figure renderer folds OTHER into the read class of the reply stream.
+    return TrafficClass.OTHER
+
+
+class NodeRef(NamedTuple):
+    """Addressable endpoint on the NoC.
+
+    ``kind`` is ``"core"``, ``"dir"`` or ``"agent"`` (central arbiter / TID
+    vendor).  Cores and directories with the same index share a tile.
+    """
+
+    kind: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.index}"
+
+
+def core_node(i: int) -> NodeRef:
+    return NodeRef("core", i)
+
+
+def dir_node(i: int) -> NodeRef:
+    return NodeRef("dir", i)
+
+
+def arbiter_node(center_tile: int) -> NodeRef:
+    """The centralized agent (BulkSC arbiter / TCC TID vendor)."""
+    return NodeRef("agent", center_tile)
+
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One packet on the NoC."""
+
+    mtype: MessageType
+    src: NodeRef
+    dst: NodeRef
+    ctag: Optional[object] = None           #: chunk tag this message concerns
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+    traffic_class: TrafficClass = TrafficClass.SMALL_COMMIT
+    uid: int = field(default_factory=lambda: next(_msg_counter))
+    sent_at: int = -1
+    is_commit_traffic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = default_size_bytes(self.mtype)
+        self.traffic_class = traffic_class_of(self.mtype)
+        self.is_commit_traffic = self.mtype in _COMMIT_TYPES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Message({self.mtype.value}, {self.src}->{self.dst}, "
+                f"ctag={self.ctag})")
+
+
+SCALABLEBULK_TABLE1_TYPES = (
+    MessageType.COMMIT_REQUEST, MessageType.G, MessageType.G_FAILURE,
+    MessageType.G_SUCCESS, MessageType.COMMIT_FAILURE,
+    MessageType.COMMIT_SUCCESS, MessageType.BULK_INV,
+    MessageType.BULK_INV_ACK, MessageType.COMMIT_DONE,
+    MessageType.COMMIT_RECALL,
+)
+
+__all__ = [
+    "HEADER_BYTES",
+    "LINE_BYTES",
+    "Message",
+    "MessageType",
+    "NodeRef",
+    "SCALABLEBULK_TABLE1_TYPES",
+    "SIGNATURE_BYTES",
+    "TrafficClass",
+    "arbiter_node",
+    "core_node",
+    "default_size_bytes",
+    "dir_node",
+    "traffic_class_of",
+]

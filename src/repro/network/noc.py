@@ -1,0 +1,151 @@
+"""The NoC: delivery latency, per-link FIFO contention, traffic accounting.
+
+Latency model (pipelined wormhole approximation):
+
+* each hop costs ``link_latency_cycles`` + ``router_latency_cycles``;
+* the packet serializes once onto the network
+  (``ceil(size / link_width)`` cycles);
+* with contention enabled, every traversed link is occupied for the
+  serialization time; a packet arriving at a busy link queues behind it
+  (per-link "next free" bookkeeping — no extra simulator events per hop).
+
+Same-tile delivery (e.g. a core talking to its co-located directory)
+costs one cycle and uses no links.
+
+All traffic is counted per :class:`~repro.network.message.TrafficClass`
+for the paper's Figures 18/19.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+from repro.config import SystemConfig
+from repro.engine.events import Simulator
+from repro.network.message import Message, MessageType, NodeRef, TrafficClass
+from repro.network.topology import Torus2D
+
+Handler = Callable[[Message], None]
+
+
+class TrafficStats:
+    """Per-class message and byte counters, plus latency accounting."""
+
+    def __init__(self) -> None:
+        self.messages_by_class: Counter = Counter()
+        self.bytes_by_class: Counter = Counter()
+        self.messages_by_type: Counter = Counter()
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_latency = 0
+        self.total_hops = 0
+
+    def record(self, msg: Message, latency: int, hops: int) -> None:
+        self.messages_by_class[msg.traffic_class] += 1
+        self.bytes_by_class[msg.traffic_class] += msg.size_bytes
+        self.messages_by_type[msg.mtype] += 1
+        self.total_messages += 1
+        self.total_bytes += msg.size_bytes
+        self.total_latency += latency
+        self.total_hops += hops
+
+    def class_counts(self) -> Dict[TrafficClass, int]:
+        return dict(self.messages_by_class)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.total_messages if self.total_messages else 0.0
+
+
+class Network:
+    """2D-torus network connecting cores, directories and central agents."""
+
+    def __init__(self, config: SystemConfig, sim: Simulator) -> None:
+        self.config = config
+        self.sim = sim
+        rows, cols = config.mesh_shape
+        self.topology = Torus2D(rows, cols)
+        self._handlers: Dict[NodeRef, Handler] = {}
+        #: per-link earliest-free cycle, keyed by (from_tile, to_tile)
+        self._link_free_at: Dict[tuple, int] = {}
+        self.stats = TrafficStats()
+        self.contention = config.network_contention
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register(self, node: NodeRef, handler: Handler) -> None:
+        """Attach a message handler to an endpoint."""
+        if node in self._handlers:
+            raise ValueError(f"handler already registered for {node}")
+        self._handlers[node] = handler
+
+    def tile_of(self, node: NodeRef) -> int:
+        """Physical tile hosting ``node``.
+
+        Cores and directories are co-located index-to-tile; central agents
+        live at the tile recorded in their index.
+        """
+        if node.kind in ("core", "dir", "agent"):
+            return node.index % self.topology.n_tiles
+        raise ValueError(f"unknown node kind {node.kind}")
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> int:
+        """Inject ``msg`` now; returns the delivery latency in cycles."""
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            raise KeyError(f"no handler registered for destination {msg.dst}")
+        msg.sent_at = self.sim.now
+        latency, hops = self._transit_time(msg)
+        self.stats.record(msg, latency, hops)
+        self.sim.schedule(latency, lambda m=msg, h=handler: h(m))
+        return latency
+
+    def _transit_time(self, msg: Message) -> tuple:
+        src_tile = self.tile_of(msg.src)
+        dst_tile = self.tile_of(msg.dst)
+        if src_tile == dst_tile:
+            return 1, 0
+
+        serialization = max(1, -(-msg.size_bytes // self.config.link_width_bytes))
+        hop_cost = self.config.link_latency_cycles + self.config.router_latency_cycles
+        route = self.topology.route(src_tile, dst_tile)
+
+        if not self.contention:
+            return serialization + hop_cost * len(route), len(route)
+
+        time = self.sim.now
+        for link in route:
+            free_at = self._link_free_at.get(link, 0)
+            depart = max(time, free_at)
+            self._link_free_at[link] = depart + serialization
+            time = depart + hop_cost
+        time += serialization  # tail flits drain on the final link
+        return time - self.sim.now, len(route)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    def unicast(self, mtype: MessageType, src: NodeRef, dst: NodeRef,
+                ctag=None, **payload) -> Message:
+        """Build and send a single message."""
+        msg = Message(mtype=mtype, src=src, dst=dst, ctag=ctag, payload=payload)
+        self.send(msg)
+        return msg
+
+    def multicast(self, mtype: MessageType, src: NodeRef, dsts, ctag=None,
+                  **payload) -> list:
+        """Send one copy of a message to each destination (no tree fanout)."""
+        return [self.unicast(mtype, src, dst, ctag=ctag, **payload) for dst in dsts]
+
+    # ------------------------------------------------------------------
+    def link_utilization_snapshot(self) -> Dict[tuple, int]:
+        """Copy of per-link next-free times (congestion diagnostics)."""
+        return dict(self._link_free_at)
+
+
+__all__ = ["Handler", "Network", "TrafficStats"]

@@ -1,0 +1,107 @@
+"""2D torus geometry and dimension-order routing.
+
+Tiles are numbered row-major on a ``rows x cols`` torus.  Routing is
+deterministic dimension-order (X then Y) taking the shorter wrap direction
+in each dimension, which is what makes per-link contention reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+Coord = Tuple[int, int]
+
+
+class Torus2D:
+    """A rows x cols torus of tiles with dimension-order routing."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("torus dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def n_tiles(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coord(self, tile: int) -> Coord:
+        """(row, col) of tile index ``tile``."""
+        if not 0 <= tile < self.n_tiles:
+            raise ValueError(f"tile {tile} out of range")
+        return divmod(tile, self.cols)
+
+    def tile(self, row: int, col: int) -> int:
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def center_tile(self) -> int:
+        """Tile closest to the geometric center (BulkSC arbiter placement)."""
+        return self.tile(self.rows // 2, self.cols // 2)
+
+    # ------------------------------------------------------------------
+    # Distances and routes
+    # ------------------------------------------------------------------
+    def _axis_step(self, src: int, dst: int, size: int) -> int:
+        """+1 / -1 step along one torus axis taking the shorter way."""
+        if src == dst:
+            return 0
+        fwd = (dst - src) % size
+        bwd = (src - dst) % size
+        return 1 if fwd <= bwd else -1
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Minimal hop count between tiles ``a`` and ``b``."""
+        (ra, ca), (rb, cb) = self.coord(a), self.coord(b)
+        dr = min((rb - ra) % self.rows, (ra - rb) % self.rows)
+        dc = min((cb - ca) % self.cols, (ca - cb) % self.cols)
+        return dr + dc
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Links traversed from ``src`` to ``dst`` as (from_tile, to_tile) pairs.
+
+        Dimension-order: resolve the column (X) dimension first, then rows.
+        """
+        links: List[Tuple[int, int]] = []
+        r, c = self.coord(src)
+        dst_r, dst_c = self.coord(dst)
+
+        step = self._axis_step(c, dst_c, self.cols)
+        while c != dst_c:
+            nxt = (c + step) % self.cols
+            links.append((self.tile(r, c), self.tile(r, nxt)))
+            c = nxt
+
+        step = self._axis_step(r, dst_r, self.rows)
+        while r != dst_r:
+            nxt = (r + step) % self.rows
+            links.append((self.tile(r, c), self.tile(nxt, c)))
+            r = nxt
+
+        return links
+
+    def neighbors(self, tile: int) -> Iterator[int]:
+        r, c = self.coord(tile)
+        seen = set()
+        for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            t = self.tile(nr, nc)
+            if t != tile and t not in seen:
+                seen.add(t)
+                yield t
+
+    def average_distance(self) -> float:
+        """Mean hop distance over all ordered tile pairs (diagnostics)."""
+        total = 0
+        n = self.n_tiles
+        for a in range(n):
+            for b in range(n):
+                total += self.hop_distance(a, b)
+        return total / (n * n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Torus2D({self.rows}x{self.cols})"
+
+
+__all__ = ["Coord", "Torus2D"]

@@ -1,0 +1,31 @@
+"""Chunk-commit protocol framework.
+
+:mod:`repro.protocols.base` defines the machine-level `Protocol` object and
+the per-core `ProcessorEngine` that every protocol implements.  The paper's
+contribution (ScalableBulk) lives in :mod:`repro.core`; the three baselines
+of Table 3 live in :mod:`repro.baselines`.
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.protocols.base import Protocol, ProcessorEngine
+
+
+def make_protocol(config: SystemConfig, sim, network, page_mapper, sig_factory
+                  ) -> Protocol:
+    """Instantiate the protocol selected by ``config.protocol`` (Table 3)."""
+    # Imported lazily: the concrete protocols import this package's base.
+    from repro.core.protocol import ScalableBulkProtocol
+    from repro.baselines.bulksc import BulkSCProtocol
+    from repro.baselines.tcc import ScalableTCCProtocol
+    from repro.baselines.seq import SeqProtocol
+
+    classes = {
+        ProtocolKind.SCALABLEBULK: ScalableBulkProtocol,
+        ProtocolKind.TCC: ScalableTCCProtocol,
+        ProtocolKind.SEQ: SeqProtocol,
+        ProtocolKind.BULKSC: BulkSCProtocol,
+    }
+    return classes[config.protocol](config, sim, network, page_mapper, sig_factory)
+
+
+__all__ = ["Protocol", "ProcessorEngine", "make_protocol"]

@@ -1,0 +1,27 @@
+"""Bulk-style hardware address signatures.
+
+Signatures are banked Bloom filters over cache-line addresses, as in
+Bulk [Ceze et al., ISCA'06].  They support the operations the ScalableBulk
+protocol needs at directory modules and processors:
+
+* ``insert`` a line address (done as the chunk executes),
+* ``contains`` membership test (load filtering at a directory, Fig. 2),
+* ``intersects`` emptiness-of-intersection test between two signatures
+  (chunk disambiguation and group-compatibility checks),
+* ``expand`` against a candidate line set (directory-side W expansion).
+
+False positives are inherent and harmless for correctness: at worst they
+nack or squash unnecessarily (paper Section 3.1), which the simulator
+reports as *aliasing squashes*.
+"""
+
+from repro.signatures.hashing import H3HashFamily, MultiplicativeHashFamily, make_hash_family
+from repro.signatures.bulk_signature import BulkSignature, SignatureFactory
+
+__all__ = [
+    "BulkSignature",
+    "SignatureFactory",
+    "H3HashFamily",
+    "MultiplicativeHashFamily",
+    "make_hash_family",
+]

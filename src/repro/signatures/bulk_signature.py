@@ -1,0 +1,189 @@
+"""Banked Bloom signatures over cache-line addresses.
+
+A signature is split into ``n_banks`` equal banks; inserting an address sets
+exactly one bit in every bank.  Consequently:
+
+* **membership**: an address is (possibly) present iff its bit is set in
+  *every* bank — no false negatives, bounded false positives;
+* **intersection**: two signatures (possibly) share an address iff the
+  bitwise AND of every corresponding bank pair is non-zero.  If any bank
+  pair ANDs to zero the sets are *definitely* disjoint.
+
+These are exactly the tests a ScalableBulk directory performs on incoming
+loads and incoming (R, W) pairs (paper Fig. 2), and the tests a processor
+performs for chunk disambiguation on a received bulk invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.signatures.hashing import HashFamily, make_hash_family
+
+
+class SignatureFactory:
+    """Creates signatures that share one hash family (one per machine)."""
+
+    def __init__(self, total_bits: int = 2048, n_banks: int = 4,
+                 hash_kind: str = "mult", seed: int = 2010) -> None:
+        if total_bits % n_banks:
+            raise ValueError("total_bits must divide into banks evenly")
+        self.total_bits = total_bits
+        self.n_banks = n_banks
+        self.bank_bits = total_bits // n_banks
+        self.hashes: HashFamily = make_hash_family(hash_kind, n_banks, self.bank_bits, seed)
+
+    def empty(self) -> "BulkSignature":
+        """A fresh, empty signature."""
+        return BulkSignature(self)
+
+    def from_lines(self, lines: Iterable[int]) -> "BulkSignature":
+        sig = self.empty()
+        for line in lines:
+            sig.insert(line)
+        return sig
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SignatureFactory(total_bits={self.total_bits}, "
+                f"n_banks={self.n_banks})")
+
+
+class BulkSignature:
+    """One chunk's R or W signature.
+
+    Bits are stored as one Python int per bank.  All mutating operations are
+    O(1) per address; intersection tests are O(banks) big-int ANDs.
+    """
+
+    __slots__ = ("_factory", "_banks", "_count")
+
+    def __init__(self, factory: SignatureFactory) -> None:
+        self._factory = factory
+        self._banks: List[int] = [0] * factory.n_banks
+        self._count = 0  #: number of insert() calls (not distinct addresses)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, line_addr: int) -> None:
+        """Add a line address to the encoded set."""
+        hashes = self._factory.hashes
+        for b in range(self._factory.n_banks):
+            self._banks[b] |= 1 << hashes.bit_index(b, line_addr)
+        self._count += 1
+
+    def clear(self) -> None:
+        """Deallocate: reset to the empty set."""
+        self._banks = [0] * self._factory.n_banks
+        self._count = 0
+
+    def union_update(self, other: "BulkSignature") -> None:
+        """In-place union (used to fold R and W for disambiguation)."""
+        self._check_compatible(other)
+        for b in range(self._factory.n_banks):
+            self._banks[b] |= other._banks[b]
+        self._count += other._count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, line_addr: int) -> bool:
+        """Possibly-present membership test (no false negatives)."""
+        hashes = self._factory.hashes
+        return all(
+            self._banks[b] >> hashes.bit_index(b, line_addr) & 1
+            for b in range(self._factory.n_banks)
+        )
+
+    def intersects(self, other: "BulkSignature") -> bool:
+        """Possibly-overlapping test: True unless provably disjoint."""
+        self._check_compatible(other)
+        if self.is_empty() or other.is_empty():
+            return False
+        return all(
+            self._banks[b] & other._banks[b]
+            for b in range(self._factory.n_banks)
+        )
+
+    def union(self, other: "BulkSignature") -> "BulkSignature":
+        out = BulkSignature(self._factory)
+        out._banks = [a | b for a, b in zip(self._banks, other._banks)]
+        out._count = self._count + other._count
+        return out
+
+    def expand(self, candidates: Iterable[int]) -> List[int]:
+        """Filter ``candidates`` to those possibly in the set.
+
+        Models directory-side signature expansion: the directory checks the
+        lines it tracks for membership (Section 3.1).
+        """
+        return [line for line in candidates if self.contains(line)]
+
+    def is_empty(self) -> bool:
+        return not any(self._banks)
+
+    def bit_count(self) -> int:
+        """Total set bits across banks (density / aliasing diagnostics)."""
+        return sum(bin(b).count("1") for b in self._banks)
+
+    def false_positive_probability(self) -> float:
+        """Analytic FP rate for a membership probe against this signature."""
+        prob = 1.0
+        for bank in self._banks:
+            prob *= bin(bank).count("1") / self._factory.bank_bits
+        return prob
+
+    @property
+    def inserts(self) -> int:
+        return self._count
+
+    @property
+    def factory(self) -> SignatureFactory:
+        return self._factory
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "BulkSignature":
+        out = BulkSignature(self._factory)
+        out._banks = list(self._banks)
+        out._count = self._count
+        return out
+
+    def banks(self) -> Iterator[int]:
+        return iter(self._banks)
+
+    def _check_compatible(self, other: "BulkSignature") -> None:
+        if other._factory is not self._factory and (
+            other._factory.total_bits != self._factory.total_bits
+            or other._factory.n_banks != self._factory.n_banks
+        ):
+            raise ValueError("signatures from incompatible factories")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BulkSignature):
+            return NotImplemented
+        return self._banks == other._banks
+
+    def __hash__(self) -> int:  # signatures are mutable; identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BulkSignature(bits={self.bit_count()}, inserts={self._count})"
+
+
+def definitely_disjoint(a: BulkSignature, b: BulkSignature) -> bool:
+    """Convenience negation of :meth:`BulkSignature.intersects`."""
+    return not a.intersects(b)
+
+
+def exact_conflict(read_set: Set[int], write_set: Set[int],
+                   other_write_set: Set[int]) -> bool:
+    """Ground-truth conflict test used by validators and tests.
+
+    A chunk with (read_set, write_set) conflicts with a committing chunk
+    whose write set is ``other_write_set`` iff Ri ∩ Wj or Wi ∩ Wj is
+    non-empty (Section 3.4).
+    """
+    return bool(other_write_set & read_set) or bool(other_write_set & write_set)
+
+
+__all__ = ["BulkSignature", "SignatureFactory", "definitely_disjoint", "exact_conflict"]

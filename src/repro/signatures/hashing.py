@@ -1,0 +1,90 @@
+"""Hash families for banked Bloom signatures.
+
+Two interchangeable families:
+
+* ``H3HashFamily`` — the classic hardware-friendly H3 scheme: each output
+  bit is the parity of the address ANDed with a fixed random mask.  This is
+  what Bulk-style signature hardware implements with XOR trees.
+* ``MultiplicativeHashFamily`` — a Knuth multiplicative hash, much faster in
+  Python with statistically similar dispersion; the default for large runs.
+
+Both are deterministic given a seed, and both map a line address to one bit
+index per bank.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.engine.rng import DeterministicRng
+
+
+class HashFamily(Protocol):
+    """Maps a line address to a bit index within each bank."""
+
+    n_banks: int
+    bank_bits: int
+
+    def bit_index(self, bank: int, line_addr: int) -> int:
+        """Index of the bit that ``line_addr`` sets within ``bank``."""
+        ...
+
+
+class H3HashFamily:
+    """H3 parity hashing: output bit j = parity(addr & mask[bank][j])."""
+
+    ADDRESS_BITS = 42  # physical line-address width we hash over
+
+    def __init__(self, n_banks: int, bank_bits: int, seed: int = 2010) -> None:
+        if bank_bits & (bank_bits - 1):
+            raise ValueError("bank_bits must be a power of two")
+        self.n_banks = n_banks
+        self.bank_bits = bank_bits
+        self._index_bits = bank_bits.bit_length() - 1
+        rng = DeterministicRng(seed, "h3-masks")
+        self._masks: List[List[int]] = [
+            [rng.randbits(self.ADDRESS_BITS) | 1 for _ in range(self._index_bits)]
+            for _ in range(n_banks)
+        ]
+
+    def bit_index(self, bank: int, line_addr: int) -> int:
+        idx = 0
+        for j, mask in enumerate(self._masks[bank]):
+            if bin(line_addr & mask).count("1") & 1:
+                idx |= 1 << j
+        return idx
+
+
+class MultiplicativeHashFamily:
+    """Per-bank Knuth multiplicative hashing (fast Python path)."""
+
+    WORD = 64
+
+    def __init__(self, n_banks: int, bank_bits: int, seed: int = 2010) -> None:
+        if bank_bits & (bank_bits - 1):
+            raise ValueError("bank_bits must be a power of two")
+        self.n_banks = n_banks
+        self.bank_bits = bank_bits
+        self._shift = self.WORD - (bank_bits.bit_length() - 1)
+        rng = DeterministicRng(seed, "mult-consts")
+        # Odd 64-bit constants, one per bank, plus a per-bank xor whitener so
+        # banks are independent even for small addresses.
+        self._consts = [(rng.randbits(self.WORD) | 1) for _ in range(n_banks)]
+        self._whiteners = [rng.randbits(self.WORD) for _ in range(n_banks)]
+        self._mask64 = (1 << self.WORD) - 1
+
+    def bit_index(self, bank: int, line_addr: int) -> int:
+        x = (line_addr ^ self._whiteners[bank]) & self._mask64
+        return ((x * self._consts[bank]) & self._mask64) >> self._shift
+
+
+def make_hash_family(kind: str, n_banks: int, bank_bits: int, seed: int = 2010):
+    """Factory: ``kind`` is ``"h3"`` or ``"mult"``."""
+    if kind == "h3":
+        return H3HashFamily(n_banks, bank_bits, seed)
+    if kind == "mult":
+        return MultiplicativeHashFamily(n_banks, bank_bits, seed)
+    raise ValueError(f"unknown hash family {kind!r}")
+
+
+__all__ = ["HashFamily", "H3HashFamily", "MultiplicativeHashFamily", "make_hash_family"]

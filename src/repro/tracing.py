@@ -1,0 +1,161 @@
+"""Structured event tracing for debugging protocol behaviour.
+
+Attach a :class:`ChunkTracer` to a machine before running and every
+chunk-level event (execution start/finish, commit request/outcome, squash,
+group formation at directories) is recorded as a typed event with a
+timestamp.  The trace can be filtered, rendered as a per-chunk timeline,
+or dumped as JSON Lines for external tooling.
+
+Tracing works by wrapping the relevant methods; it never changes protocol
+behaviour or timing (wall-clock aside).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.cpu.chunk import Chunk, ChunkState
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event."""
+
+    time: int
+    kind: str          #: exec_start | exec_done | commit_request |
+                       #: commit_success | commit_failure | squash |
+                       #: group_formed | group_failed
+    core: int
+    tag: str
+    detail: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+
+class ChunkTracer:
+    """Records the lifecycle of every chunk on a machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.events: List[TraceEvent] = []
+        for core in machine.cores:
+            self._wrap_core(core)
+        for directory in machine.directories:
+            self._wrap_directory(directory)
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, core: int, tag, detail: str = "") -> None:
+        self.events.append(TraceEvent(
+            time=self.machine.sim.now, kind=kind, core=core,
+            tag=str(tag), detail=detail))
+
+    def _wrap_core(self, core) -> None:
+        orig_burst = core._run_burst
+
+        def traced_burst():
+            ctx = core._exec
+            if ctx is not None and ctx.idx == 0:
+                self._emit("exec_start", core.core_id, ctx.chunk.tag)
+            orig_burst()
+
+        core._run_burst = traced_burst
+
+        orig_complete = core._exec_complete
+
+        def traced_complete(epoch):
+            ctx = core._exec
+            live = ctx is not None and ctx.epoch == epoch
+            tag = ctx.chunk.tag if live else None
+            orig_complete(epoch)
+            if live:
+                self._emit("exec_done", core.core_id, tag)
+
+        core._exec_complete = traced_complete
+
+        orig_success = core.on_commit_success
+
+        def traced_success(chunk):
+            self._emit("commit_success", core.core_id, chunk.tag)
+            orig_success(chunk)
+
+        core.on_commit_success = traced_success
+
+        orig_squash = core.squash_from
+
+        def traced_squash(chunk, *, true_conflict):
+            victims = orig_squash(chunk, true_conflict=true_conflict)
+            for v in victims:
+                self._emit("squash", core.core_id, v.tag,
+                           "conflict" if true_conflict else "alias")
+            return victims
+
+        core.squash_from = traced_squash
+
+        engine = core.engine
+        if engine is not None:
+            orig_request = engine.request_commit
+
+            def traced_request(chunk):
+                self._emit("commit_request", core.core_id, chunk.tag,
+                           f"dirs={sorted(chunk.dirs)}")
+                orig_request(chunk)
+
+            engine.request_commit = traced_request
+
+    def _wrap_directory(self, directory) -> None:
+        confirm = getattr(directory, "_confirm_group", None)
+        if confirm is not None:
+            def traced_confirm(entry, _orig=confirm, _dir=directory):
+                self._emit("group_formed", entry.proc, entry.cid[0],
+                           f"leader=dir{_dir.dir_id} order={entry.order}")
+                _orig(entry)
+
+            directory._confirm_group = traced_confirm
+        fail = getattr(directory, "_fail_group", None)
+        if fail is not None:
+            def traced_fail(entry, genuine=True, _orig=fail, _dir=directory):
+                self._emit("group_failed", entry.proc, entry.cid[0],
+                           f"collision=dir{_dir.dir_id}")
+                _orig(entry, genuine)
+
+            directory._fail_group = traced_fail
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_tag(self, tag) -> List[TraceEvent]:
+        return [e for e in self.events if e.tag == str(tag)]
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def timeline(self, tag) -> str:
+        """Readable per-chunk timeline."""
+        lines = [f"timeline for {tag}:"]
+        for e in self.for_tag(tag):
+            lines.append(f"  t={e.time:>8d} {e.kind:15s} {e.detail}")
+        return "\n".join(lines)
+
+    def dump_jsonl(self, path) -> int:
+        """Write all events as JSON Lines; returns the event count."""
+        with open(path, "w") as fh:
+            for e in self.events:
+                fh.write(e.to_json() + "\n")
+        return len(self.events)
+
+    def summary(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def attach_tracer(machine) -> ChunkTracer:
+    """Attach tracing to a machine (call before ``machine.run()``)."""
+    return ChunkTracer(machine)
+
+
+__all__ = ["ChunkTracer", "TraceEvent", "attach_tracer"]

@@ -1,0 +1,21 @@
+"""Online correctness oracles for full-machine runs.
+
+The protocol's safety rests on a chain: a chunk's reads/writes register it
+as a sharer at the home directory, commit-time expansion finds those
+sharers, and the bulk invalidation reaches every one of them, squashing
+any truly conflicting chunk (signatures have no false negatives).  The
+oracles in this package watch live runs and flag any break in that chain.
+"""
+
+from repro.validation.oracle import InvalidationOracle, attach_oracle
+from repro.validation.orderings import (
+    ProtocolConformanceChecker,
+    attach_conformance_checker,
+)
+
+__all__ = [
+    "InvalidationOracle",
+    "ProtocolConformanceChecker",
+    "attach_conformance_checker",
+    "attach_oracle",
+]

@@ -1,0 +1,42 @@
+"""Synthetic workload models for the 11 SPLASH-2 and 7 PARSEC applications.
+
+The paper drives its simulator with real application binaries; we cannot,
+so each application is modelled by an :class:`AppProfile` that captures the
+properties the evaluation actually depends on:
+
+* memory intensity and write fraction,
+* per-thread (partition) private working-set size — which produces the
+  paper's superlinear speedups for Ocean/Cholesky/Raytrace, whose combined
+  working set thrashes a single L2 but fits in 32-64 of them,
+* how many *distinct shared pages* a chunk touches and how many of those
+  are written — which determines the number of directory modules per chunk
+  commit (Figs. 9-12; e.g. Radix's random bucket writes hit ~a dozen
+  write-group directories),
+* the sharing pattern (uniform, nearest-neighbour, random buckets,
+  read-mostly) and a hot-line conflict probability that reproduces the
+  paper's ~1.5% true-conflict squash rate.
+
+Traces are generated deterministically from (seed, app, partition, chunk),
+so every protocol sees the identical instruction stream.
+"""
+
+from repro.workloads.profiles import (
+    APP_PROFILES,
+    PARSEC_APPS,
+    SPLASH2_APPS,
+    AppProfile,
+    get_profile,
+)
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.tracefile import TraceFileWorkload, TraceFormatError
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "PARSEC_APPS",
+    "SPLASH2_APPS",
+    "SyntheticWorkload",
+    "TraceFileWorkload",
+    "TraceFormatError",
+    "get_profile",
+]

@@ -1,0 +1,263 @@
+"""Per-application workload profiles (11 SPLASH-2 + 7 PARSEC).
+
+Profile parameters are calibrated against the characteristics the paper
+reports, not against the original binaries:
+
+* Section 6.2 / Figs. 9-10: most applications touch 2-6 directories per
+  chunk commit; Radix touches ~13 with nearly all of them recording
+  writes (random bucket writes with no spatial locality); Barnes, Canneal
+  and Blackscholes have large groups and long distribution tails.
+* Section 6.1: Ocean, Cholesky and Raytrace get superlinear speedups
+  because one L2 cannot hold their working set but 32-64 can.
+* Squash rates are low (1.5% conflicts, 2.3% aliasing at 64p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Statistical model of one application's memory behaviour."""
+
+    name: str
+    suite: str                          #: "splash2" or "parsec"
+
+    # instruction mix
+    mem_ratio: float = 0.30             #: memory accesses per instruction
+    write_frac: float = 0.30            #: write fraction of private accesses
+    #: distinct cache lines a chunk touches.  Repeated accesses to the same
+    #: line are L1 hits that cost only pipeline cycles, so the generator
+    #: emits one access per (roughly) distinct line and folds repeats into
+    #: the instruction gaps.  2000-instruction chunks with realistic reuse
+    #: land in the 40-100 range, which also keeps 2 Kbit signatures at the
+    #: densities the paper's aliasing rates imply.
+    lines_per_chunk: int = 64
+    #: shared writes land in a per-partition slice of each shared page
+    #: (data-parallel programs write disjoint elements; cross-thread
+    #: conflicts come from reads of other partitions' slices and from the
+    #: hot contended set)
+    line_disjoint_writes: bool = True
+    shared_locality_run: int = 4        #: consecutive-line run on shared pages
+    #: probability a shared *read* landing on a written page stays within
+    #: the reader's own slice.  Reads into other partitions' slices are the
+    #: cross-thread communication that causes true R/W conflicts when they
+    #: race a commit; the complement of this knob (plus the hot set) sets
+    #: the conflict-squash rate (paper: ~1.5% of chunks at 64p).
+    read_own_slice: float = 0.85
+
+    # working sets (pages of 4 KB)
+    private_pages_per_partition: int = 16
+    shared_pages: int = 256
+
+    # shared behaviour
+    shared_frac: float = 0.20           #: fraction of accesses to shared data
+    shared_pages_per_chunk: Tuple[int, int] = (1, 3)  #: distinct pages/chunk
+    shared_page_write_frac: float = 0.4  #: fraction of those pages written
+    shared_write_frac: float = 0.25     #: write fraction of shared accesses
+    sharing_pattern: str = "uniform"    #: uniform | neighbor | bucket | readmostly
+    zipf_skew: float = 0.6              #: popularity skew for uniform sharing
+
+    # locality
+    locality_run: int = 8               #: mean consecutive-line run length
+
+    # conflicts
+    hot_conflict_prob: float = 0.02     #: chunk touches the hot contended set
+    hot_lines: int = 16
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("splash2", "parsec"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if self.sharing_pattern not in ("uniform", "neighbor", "bucket",
+                                        "readmostly"):
+            raise ValueError(f"unknown pattern {self.sharing_pattern!r}")
+        lo, hi = self.shared_pages_per_chunk
+        if not 0 <= lo <= hi:
+            raise ValueError("bad shared_pages_per_chunk range")
+
+
+def _p(name: str, suite: str, **kw) -> AppProfile:
+    return AppProfile(name=name, suite=suite, **kw)
+
+
+#: The 11 SPLASH-2 applications of Figure 7 (LU and Ocean are the
+#: contiguous versions, as in the paper).
+SPLASH2_APPS = (
+    "Radix", "Cholesky", "Barnes", "FFT", "Water-N", "FMM",
+    "LU", "Ocean", "Water-S", "Radiosity", "Raytrace",
+)
+
+#: The 7 PARSEC applications of Figure 8.
+PARSEC_APPS = (
+    "Vips", "Swaptions", "Blackscholes", "Fluidanimate", "Canneal",
+    "Dedup", "Facesim",
+)
+
+
+APP_PROFILES: Dict[str, AppProfile] = {
+    # ----------------------------------------------------------------
+    # SPLASH-2
+    # ----------------------------------------------------------------
+    # Radix sort scatters integers into per-digit buckets: writes land on
+    # random shared pages with no spatial locality, so nearly every
+    # directory in the group records writes (Section 6.1/6.2).
+    "Radix": _p(
+        "Radix", "splash2",
+        shared_frac=0.45, sharing_pattern="bucket",
+        shared_pages_per_chunk=(10, 14), shared_page_write_frac=0.95,
+        shared_write_frac=0.75, locality_run=1, shared_pages=160,
+        private_pages_per_partition=12, hot_conflict_prob=0.015,
+        lines_per_chunk=72, shared_locality_run=1, read_own_slice=0.98,
+    ),
+    # Sparse Cholesky factorization: modest sharing, big working set
+    # (superlinear at scale).
+    "Cholesky": _p(
+        "Cholesky", "splash2",
+        shared_frac=0.15, shared_pages_per_chunk=(1, 3),
+        shared_page_write_frac=0.35, private_pages_per_partition=48,
+        locality_run=12, hot_conflict_prob=0.01,
+    ),
+    # Barnes-Hut N-body: tree walks touch many scattered shared pages.
+    "Barnes": _p(
+        "Barnes", "splash2",
+        shared_frac=0.35, shared_pages_per_chunk=(4, 8),
+        shared_page_write_frac=0.3, shared_write_frac=0.2,
+        zipf_skew=0.9, locality_run=3, shared_pages=256,
+        hot_conflict_prob=0.015, lines_per_chunk=80, shared_locality_run=2,
+        read_own_slice=0.92,
+    ),
+    # FFT transpose: blocked all-to-all, high locality within blocks.
+    "FFT": _p(
+        "FFT", "splash2",
+        shared_frac=0.25, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(2, 3), shared_page_write_frac=0.5,
+        locality_run=16, private_pages_per_partition=24,
+        hot_conflict_prob=0.005,
+    ),
+    # Water-Nsquared: all-pairs molecular dynamics, moderate sharing.
+    "Water-N": _p(
+        "Water-N", "splash2",
+        shared_frac=0.30, shared_pages_per_chunk=(2, 5),
+        shared_page_write_frac=0.35, locality_run=6,
+        hot_conflict_prob=0.02,
+    ),
+    # FMM: adaptive fast multipole, scattered tree sharing.
+    "FMM": _p(
+        "FMM", "splash2",
+        shared_frac=0.30, shared_pages_per_chunk=(3, 6),
+        shared_page_write_frac=0.35, zipf_skew=0.8, locality_run=4,
+        hot_conflict_prob=0.02,
+    ),
+    # LU (contiguous): blocked dense factorization, very high locality.
+    "LU": _p(
+        "LU", "splash2",
+        shared_frac=0.12, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(1, 2), shared_page_write_frac=0.5,
+        locality_run=20, private_pages_per_partition=20,
+        hot_conflict_prob=0.004,
+    ),
+    # Ocean (contiguous): stencil grids, neighbour sharing, large grid
+    # (superlinear).
+    "Ocean": _p(
+        "Ocean", "splash2",
+        shared_frac=0.22, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(1, 3), shared_page_write_frac=0.5,
+        locality_run=16, private_pages_per_partition=56,
+        hot_conflict_prob=0.008,
+    ),
+    # Water-Spatial: cell-based MD, neighbour cells shared.
+    "Water-S": _p(
+        "Water-S", "splash2",
+        shared_frac=0.22, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(1, 3), shared_page_write_frac=0.4,
+        locality_run=8, hot_conflict_prob=0.01,
+    ),
+    # Radiosity: irregular task-stealing, scattered read-write sharing.
+    "Radiosity": _p(
+        "Radiosity", "splash2",
+        shared_frac=0.30, shared_pages_per_chunk=(2, 5),
+        shared_page_write_frac=0.3, zipf_skew=0.8, locality_run=4,
+        hot_conflict_prob=0.025,
+    ),
+    # Raytrace: read-mostly shared scene, big footprint (superlinear).
+    "Raytrace": _p(
+        "Raytrace", "splash2",
+        shared_frac=0.35, sharing_pattern="readmostly",
+        shared_pages_per_chunk=(2, 5), shared_page_write_frac=0.08,
+        shared_write_frac=0.05, private_pages_per_partition=44,
+        locality_run=5, shared_pages=640, hot_conflict_prob=0.01,
+    ),
+
+    # ----------------------------------------------------------------
+    # PARSEC
+    # ----------------------------------------------------------------
+    # Vips: image pipeline, mostly data-parallel with buffer handoff.
+    "Vips": _p(
+        "Vips", "parsec",
+        shared_frac=0.22, shared_pages_per_chunk=(2, 4),
+        shared_page_write_frac=0.4, locality_run=12,
+        private_pages_per_partition=24, hot_conflict_prob=0.01,
+    ),
+    # Swaptions: embarrassingly parallel Monte-Carlo, tiny sharing.
+    "Swaptions": _p(
+        "Swaptions", "parsec",
+        shared_frac=0.08, shared_pages_per_chunk=(1, 2),
+        shared_page_write_frac=0.3, locality_run=10,
+        private_pages_per_partition=12, hot_conflict_prob=0.003,
+    ),
+    # Blackscholes: data-parallel but the small option arrays interleave
+    # across pages, spreading each chunk over many directories.
+    "Blackscholes": _p(
+        "Blackscholes", "parsec",
+        shared_frac=0.40, shared_pages_per_chunk=(4, 8),
+        shared_page_write_frac=0.45, shared_write_frac=0.35,
+        locality_run=2, shared_pages=224, hot_conflict_prob=0.012,
+        lines_per_chunk=80, shared_locality_run=2,
+    ),
+    # Fluidanimate: particle grid with neighbour-cell sharing and locks.
+    "Fluidanimate": _p(
+        "Fluidanimate", "parsec",
+        shared_frac=0.28, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(2, 4), shared_page_write_frac=0.4,
+        locality_run=6, hot_conflict_prob=0.03,
+    ),
+    # Canneal: random-access netlist swaps — scattered shared writes,
+    # large groups, visible commit pressure (Section 6.1).
+    "Canneal": _p(
+        "Canneal", "parsec",
+        shared_frac=0.45, shared_pages_per_chunk=(5, 9),
+        shared_page_write_frac=0.5, shared_write_frac=0.4,
+        locality_run=1, shared_pages=320, hot_conflict_prob=0.025,
+        lines_per_chunk=84, shared_locality_run=1,
+    ),
+    # Dedup: pipeline with shared hash table.
+    "Dedup": _p(
+        "Dedup", "parsec",
+        shared_frac=0.30, shared_pages_per_chunk=(2, 5),
+        shared_page_write_frac=0.45, zipf_skew=0.9, locality_run=6,
+        hot_conflict_prob=0.02,
+    ),
+    # Facesim: physics solver over a partitioned mesh.
+    "Facesim": _p(
+        "Facesim", "parsec",
+        shared_frac=0.20, sharing_pattern="neighbor",
+        shared_pages_per_chunk=(1, 3), shared_page_write_frac=0.4,
+        locality_run=10, private_pages_per_partition=32,
+        hot_conflict_prob=0.01,
+    ),
+}
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up an application profile by (case-insensitive) name."""
+    for key, profile in APP_PROFILES.items():
+        if key.lower() == name.lower():
+            return profile
+    raise KeyError(f"unknown application {name!r}; "
+                   f"known: {sorted(APP_PROFILES)}")
+
+
+__all__ = ["APP_PROFILES", "AppProfile", "PARSEC_APPS", "SPLASH2_APPS",
+           "get_profile"]

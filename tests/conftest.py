@@ -1,0 +1,38 @@
+"""Shared fixtures: small machines that keep the protocol behaviour intact."""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.engine.events import Simulator
+from repro.signatures.bulk_signature import SignatureFactory
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def sig_factory():
+    return SignatureFactory(total_bits=2048, n_banks=4, seed=7)
+
+
+@pytest.fixture
+def small_config():
+    """A 4-core machine (2x2 torus) with the Table 2 cache geometry."""
+    return SystemConfig(n_cores=4, seed=7)
+
+
+@pytest.fixture
+def nine_config():
+    """A 9-core machine, handy for multi-directory group scenarios."""
+    return SystemConfig(n_cores=9, seed=7)
+
+
+def make_config(n_cores=4, protocol=ProtocolKind.SCALABLEBULK, **kw):
+    return SystemConfig(n_cores=n_cores, protocol=protocol, seed=7, **kw)
+
+
+@pytest.fixture
+def config_factory():
+    return make_config

@@ -1,0 +1,105 @@
+"""Behavioural tests for the SEQ-PRO baseline."""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+from repro.network.message import MessageType
+from protocol_bench import ProtocolBench
+
+
+def build(specs_by_core, n_cores=4, **overrides):
+    config = SystemConfig(n_cores=n_cores, seed=3,
+                          protocol=ProtocolKind.SEQ, **overrides)
+    remaining = {c: list(s) for c, s in specs_by_core.items()}
+
+    def next_spec(core_id):
+        lst = remaining.get(core_id)
+        return lst.pop(0) if lst else None
+
+    return Machine(config, next_spec=next_spec)
+
+
+def disjoint_specs(core, n=3):
+    base = 32 * (7000 + 300 * core)
+    return [ChunkSpec(200, [ChunkAccess(1, base + 32 * i, True)])
+            for i in range(n)]
+
+
+def same_dir_disjoint_specs(core, n=2):
+    base = 32 * 8192 + 32 * core
+    return [ChunkSpec(400, [ChunkAccess(1, base, True)]) for _ in range(n)]
+
+
+class TestOccupation:
+    def test_all_chunks_commit(self):
+        m = build({c: disjoint_specs(c) for c in range(4)})
+        m.run()
+        assert sum(c.stats.chunks_committed for c in m.cores) == 12
+
+    def test_modules_freed_at_quiescence(self):
+        m = build({c: disjoint_specs(c) for c in range(4)})
+        m.run()
+        for d in m.directories:
+            assert d.occupant is None
+            assert not d.queue
+
+    def test_occupation_counts(self):
+        m = build({0: disjoint_specs(0, n=2)})
+        m.run()
+        assert sum(d.occupations for d in m.directories) >= 2
+
+    def test_ascending_occupation_order(self):
+        """Occupy messages for a multi-dir commit go lowest module first."""
+        m = build({0: [ChunkSpec(300, [
+            ChunkAccess(1, 32 * 128 * 100, True),    # page 100 -> dir 1
+            ChunkAccess(1, 32 * 128 * 228, True),    # page 228 -> dir 3
+        ])]}, n_cores=4)
+        m.page_mapper.premap(100, 1)
+        m.page_mapper.premap(228, 3)
+        occupies = []
+        orig_send = m.network.send
+
+        def spy(msg):
+            if msg.mtype is MessageType.SEQ_OCCUPY:
+                occupies.append(m.network.tile_of(msg.dst))
+            return orig_send(msg)
+
+        m.network.send = spy
+        m.run()
+        assert occupies == sorted(occupies)
+        assert len(occupies) >= 2
+
+    def test_same_dir_commits_serialize(self):
+        m = build({c: same_dir_disjoint_specs(c) for c in range(4)})
+        m.run()
+        assert sum(c.stats.chunks_committed for c in m.cores) == 8
+
+    def test_queue_forms_under_contention(self):
+        m = build({c: same_dir_disjoint_specs(c, n=3) for c in range(4)})
+        m.run()
+        assert max(m.protocol.stats.queue_samples, default=0) >= 1
+
+
+class TestConflictsAndAborts:
+    def test_conflicting_chunks_recover(self):
+        line = 32 * 9000
+        specs = lambda: [ChunkSpec(300, [ChunkAccess(1, line, True),
+                                         ChunkAccess(1, line + 32, False)])
+                         for _ in range(3)]
+        m = build({0: specs(), 1: specs()})
+        m.run()
+        assert sum(c.stats.chunks_committed for c in m.cores) == 6
+        for d in m.directories:
+            assert d.occupant is None
+
+    def test_release_drains_queues(self):
+        line = 32 * 9000
+        specs = lambda: [ChunkSpec(250, [ChunkAccess(1, line, True)])
+                         for _ in range(4)]
+        m = build({c: specs() for c in range(4)})
+        m.run()
+        assert all(c.finished for c in m.cores)
+        for d in m.directories:
+            assert not d.queue

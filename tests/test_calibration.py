@@ -1,0 +1,79 @@
+"""Calibration regression tests: pin each application's characteristics.
+
+These encode the paper-derived targets the workload models were calibrated
+to (directory spread per Figs. 9/10, squash-rate band, commit health), with
+tolerances wide enough to survive benign refactoring but tight enough to
+catch an accidental recalibration.  Run at 16 cores for speed; the full
+64-core numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import SimulationRunner
+
+#: (app, min_dirs, max_dirs, min_write_share) at 16 cores
+DIR_SPREAD_BANDS = [
+    ("Radix", 6.0, 11.0, 0.80),       # the outlier: big, write-dominated
+    ("Canneal", 4.0, 9.0, 0.35),
+    ("Blackscholes", 3.5, 8.5, 0.30),
+    ("Barnes", 3.5, 8.0, 0.25),
+    ("FMM", 2.0, 6.0, 0.25),
+    ("Water-N", 2.0, 6.0, 0.25),
+    ("Radiosity", 2.0, 6.0, 0.25),
+    ("Vips", 1.8, 5.5, 0.25),
+    ("Dedup", 1.8, 5.5, 0.30),
+    ("Raytrace", 1.8, 6.0, 0.15),
+    ("Cholesky", 1.2, 4.5, 0.30),
+    ("Swaptions", 1.0, 4.0, 0.30),
+    ("FFT", 1.0, 3.5, 0.40),
+    ("LU", 1.0, 3.0, 0.40),
+    ("Ocean", 1.0, 3.5, 0.35),
+    ("Water-S", 1.0, 3.5, 0.35),
+    ("Fluidanimate", 1.0, 3.5, 0.35),
+    ("Facesim", 1.0, 3.5, 0.35),
+]
+
+
+def run(app, **kw):
+    config = SystemConfig(n_cores=16, protocol=ProtocolKind.SCALABLEBULK)
+    return SimulationRunner(app, config, chunks_per_partition=2, **kw).run()
+
+
+class TestDirectorySpreadBands:
+    @pytest.mark.parametrize("app,lo,hi,wshare", DIR_SPREAD_BANDS)
+    def test_dirs_per_commit_in_band(self, app, lo, hi, wshare):
+        r = run(app)
+        assert lo <= r.mean_dirs_per_commit <= hi, (
+            f"{app}: {r.mean_dirs_per_commit:.2f} outside [{lo}, {hi}]")
+        assert r.mean_write_dirs_per_commit / r.mean_dirs_per_commit >= wshare
+
+    def test_radix_is_the_outlier(self):
+        radix = run("Radix").mean_dirs_per_commit
+        others = [run(a).mean_dirs_per_commit for a in ("LU", "FFT", "Ocean")]
+        assert radix > 2.5 * max(others)
+
+
+class TestProtocolHealthBands:
+    @pytest.mark.parametrize("app", ["Radix", "Barnes", "Canneal", "LU"])
+    def test_squash_rate_band(self, app):
+        r = run(app)
+        rate = (r.squashes_conflict + r.squashes_alias) / r.chunks_committed
+        assert rate <= 0.12, f"{app}: squash rate {rate:.2%} too high"
+
+    @pytest.mark.parametrize("app", ["Radix", "LU", "Canneal"])
+    def test_scalablebulk_commit_stall_negligible(self, app):
+        r = run(app)
+        assert r.breakdown_fractions()["Commit"] < 0.03
+
+    @pytest.mark.parametrize("app", ["Barnes", "LU"])
+    def test_useful_fraction_reasonable(self, app):
+        """Chunks must be compute-bound enough that commits matter."""
+        r = run(app)
+        assert r.breakdown_fractions()["Useful"] > 0.35
+
+    def test_every_profile_simulates(self):
+        from repro.workloads.profiles import APP_PROFILES
+        for app in APP_PROFILES:
+            r = run(app)
+            assert r.chunks_committed == 32, app

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        assert main(["run", "LU", "--cores", "4", "--chunks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LU on 4 cores" in out
+        assert "Useful" in out
+
+    def test_run_with_protocol(self, capsys):
+        assert main(["run", "LU", "--cores", "4", "--chunks", "1",
+                     "--protocol", "seq"]) == 0
+        assert "SEQ" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "LU", "--cores", "4", "--chunks", "1"]) == 0
+        out = capsys.readouterr().out
+        for proto in ("ScalableBulk", "TCC", "SEQ", "BulkSC"):
+            assert proto in out
+
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Radix" in out and "Facesim" in out
+        assert out.count("splash2") == 11
+        assert out.count("parsec") == 7
+
+    def test_sweep_delegation(self, tmp_path, capsys):
+        rc = main(["sweep", "--apps", "LU", "--cores", "4", "--chunks", "1",
+                   "--json", str(tmp_path / "s.json"),
+                   "--markdown", str(tmp_path / "m.md")])
+        assert rc == 0
+        assert (tmp_path / "m.md").exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "LU", "--protocol", "mesi"])

@@ -1,0 +1,70 @@
+"""Tests for the sweep-comparison (calibration drift) tool."""
+
+import json
+
+import pytest
+
+from repro.harness.compare import (
+    Drift, compare_records, main, missing_keys, render,
+)
+
+
+def rec(cycles=10000, lat=100.0, dirs=3.0, queue=0.0, sq=0):
+    return {"total_cycles": cycles, "mean_commit_latency": lat,
+            "mean_dirs": dirs, "mean_queue": queue, "squashes_conflict": sq}
+
+
+class TestCompare:
+    def test_identical_sweeps_clean(self):
+        a = {"LU/64/ScalableBulk/64": rec()}
+        assert compare_records(a, dict(a)) == []
+
+    def test_cycle_drift_detected(self):
+        old = {"k": rec(cycles=10000)}
+        new = {"k": rec(cycles=13000)}
+        drifts = compare_records(old, new)
+        assert len(drifts) == 1
+        assert drifts[0].metric == "total_cycles"
+        assert drifts[0].relative == pytest.approx(0.3)
+
+    def test_small_absolute_changes_ignored(self):
+        old = {"k": rec(lat=10.0)}
+        new = {"k": rec(lat=15.0)}  # +50% but only 5 cycles
+        assert compare_records(old, new) == []
+
+    def test_threshold_respected(self):
+        old = {"k": rec(cycles=10000)}
+        new = {"k": rec(cycles=10800)}  # +8%
+        assert compare_records(old, new, threshold=0.10) == []
+        assert compare_records(old, new, threshold=0.05)
+
+    def test_zero_baseline_reported_as_new(self):
+        old = {"k": rec(queue=0.0)}
+        new = {"k": rec(queue=5.0)}
+        drifts = compare_records(old, new)
+        assert drifts and drifts[0].relative == float("inf")
+
+    def test_missing_keys(self):
+        gone, added = missing_keys({"a": rec()}, {"b": rec()})
+        assert gone == ["a"] and added == ["b"]
+
+    def test_render_mentions_everything(self):
+        drifts = [Drift("k", "total_cycles", 1000, 2000)]
+        text = render(drifts, ["old-only"], ["new-only"])
+        assert "old-only" in text and "new-only" in text
+        assert "+100.0%" in text
+
+    def test_render_clean(self):
+        assert "no significant drifts" in render([], [], [])
+
+
+class TestCli:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"k": rec(cycles=10000)}))
+        b.write_text(json.dumps({"k": rec(cycles=10000)}))
+        assert main([str(a), str(b)]) == 0
+        b.write_text(json.dumps({"k": rec(cycles=20000)}))
+        assert main([str(a), str(b)]) == 1
+        assert "total_cycles" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Unit tests for the Chunk State Table entries (Fig. 6)."""
+
+import pytest
+
+from repro.core.cst import ChunkCommitState, CstEntry
+from repro.cpu.chunk import ChunkTag
+from repro.signatures.bulk_signature import SignatureFactory
+
+
+@pytest.fixture
+def factory():
+    return SignatureFactory(seed=4)
+
+
+def entry(factory, dir_id=1, order=(1, 2, 5), writes=(), reads=(),
+          cid=None):
+    e = CstEntry(cid=cid or (ChunkTag(0, 0, 0), 0), dir_id=dir_id)
+    e.order = tuple(order)
+    e.r_sig = factory.from_lines(reads)
+    e.w_sig = factory.from_lines(writes)
+    e.write_lines = frozenset(writes)
+    e.got_request = True
+    e.expanded = True
+    return e
+
+
+class TestStatusBits:
+    def test_leader_bit(self, factory):
+        assert entry(factory, dir_id=1).leader_here
+        assert not entry(factory, dir_id=2).leader_here
+
+    def test_hold_and_confirm_bits(self, factory):
+        e = entry(factory)
+        assert not e.held and not e.confirmed
+        e.state = ChunkCommitState.HELD
+        assert e.held and not e.confirmed
+        e.state = ChunkCommitState.CONFIRMED
+        assert e.held and e.confirmed
+
+
+class TestReadiness:
+    def test_leader_ready_without_g(self, factory):
+        assert entry(factory, dir_id=1).ready()
+
+    def test_member_needs_g(self, factory):
+        e = entry(factory, dir_id=2)
+        assert not e.ready()
+        e.got_g = True
+        assert e.ready()
+
+    def test_not_ready_before_expansion(self, factory):
+        e = entry(factory, dir_id=1)
+        e.expanded = False
+        assert not e.ready()
+
+    def test_not_ready_before_request(self, factory):
+        e = entry(factory, dir_id=1)
+        e.got_request = False
+        assert not e.ready()
+
+
+class TestIncompatibility:
+    def test_ww_overlap(self, factory):
+        a = entry(factory, writes=[10, 11])
+        b = entry(factory, writes=[11, 12], cid=(ChunkTag(1, 0, 0), 0))
+        assert a.incompatible_with(b)
+        assert b.incompatible_with(a)
+
+    def test_rw_overlap(self, factory):
+        a = entry(factory, writes=[10])
+        b = entry(factory, reads=[10], cid=(ChunkTag(1, 0, 0), 0))
+        assert a.incompatible_with(b)
+        assert b.incompatible_with(a)
+
+    def test_disjoint_compatible(self, factory):
+        a = entry(factory, writes=[10], reads=[20])
+        b = entry(factory, writes=[30], reads=[40],
+                  cid=(ChunkTag(1, 0, 0), 0))
+        assert not a.incompatible_with(b)
+
+    def test_read_read_compatible(self, factory):
+        a = entry(factory, reads=[10])
+        b = entry(factory, reads=[10], cid=(ChunkTag(1, 0, 0), 0))
+        assert not a.incompatible_with(b)
+
+    def test_missing_sigs_compatible(self, factory):
+        a = entry(factory, writes=[10])
+        b = CstEntry(cid=(ChunkTag(1, 0, 0), 0), dir_id=1)
+        assert not a.incompatible_with(b)

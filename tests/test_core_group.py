@@ -1,0 +1,79 @@
+"""Unit tests for group-ordering helpers (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.group import (
+    collision_module, is_last, leader_of, order_gvec, priority_rank, successor,
+)
+
+
+class TestOrdering:
+    def test_baseline_order_ascending(self):
+        assert order_gvec({5, 1, 2}, 8) == (1, 2, 5)
+
+    def test_leader_is_lowest(self):
+        assert leader_of(order_gvec({5, 1, 2}, 8)) == 1
+
+    def test_rotation_changes_leader(self):
+        # offset 3: priority order is 3,4,...,7,0,1,2
+        order = order_gvec({1, 2, 5}, 8, offset=3)
+        assert order == (5, 1, 2)
+        assert leader_of(order) == 5
+
+    def test_rotation_full_cycle_identity(self):
+        dirs = {0, 3, 6}
+        assert order_gvec(dirs, 8, offset=8) == order_gvec(dirs, 8, offset=0)
+
+    def test_duplicates_collapse(self):
+        assert order_gvec([2, 2, 4], 8) == (2, 4)
+
+    @given(st.sets(st.integers(0, 63), min_size=1, max_size=10),
+           st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_order_is_permutation(self, dirs, offset):
+        order = order_gvec(dirs, 64, offset)
+        assert set(order) == dirs
+        ranks = [priority_rank(d, 64, offset) for d in order]
+        assert ranks == sorted(ranks)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            leader_of(())
+
+
+class TestSuccessor:
+    def test_chain_traversal(self):
+        order = (1, 2, 5)
+        assert successor(order, 1) == 2
+        assert successor(order, 2) == 5
+
+    def test_last_wraps_to_leader(self):
+        order = (1, 2, 5)
+        assert successor(order, 5) == 1
+        assert is_last(order, 5)
+
+    def test_singleton(self):
+        assert successor((3,), 3) == 3
+
+
+class TestCollisionModule:
+    def test_lowest_common_module(self):
+        # loser traverses 1,2,5; winner holds {2,5} -> collision at 2
+        assert collision_module((1, 2, 5), {2, 5}) == 2
+
+    def test_priority_order_respected(self):
+        # loser order under rotation: 5 first
+        assert collision_module((5, 1, 2), {1, 2}) == 1
+
+    def test_no_common_module(self):
+        assert collision_module((1, 2), {3, 4}) is None
+
+    def test_paper_figure3g_example(self):
+        """Fig. 3(g): G0={0,2,3,4}, G1={1,2,3,7,8} -> collision at 2."""
+        g0 = (0, 2, 3, 4)
+        g1 = (1, 2, 3, 7, 8)
+        assert collision_module(g0, set(g1)) == 2
+        assert collision_module(g1, set(g0)) == 2
+        # G1 vs G2={6,7}: collision at 7
+        assert collision_module(g1, {6, 7}) == 7

@@ -1,0 +1,145 @@
+"""Message-ordering tests for the appendix Tables 4 and 5.
+
+Each test reconstructs one row of the tables from the wire log of a
+driven scenario: what a leader / member / collision module / post-collision
+module receives and sends, in order.
+"""
+
+import pytest
+
+from repro.network.message import MessageType, core_node, dir_node
+from protocol_bench import ProtocolBench
+
+
+def times_of(bench, dst, mtype, ctag=None):
+    return [t for t, d, m in bench.wire_log
+            if d == dst and m.mtype is mtype
+            and (ctag is None or m.ctag == ctag)]
+
+
+class TestTable4SuccessfulCommit:
+    """Leader: R:commit_request -> S:g -> R:g -> (commit_success & g_success*
+    & bulk_inv*) -> R:bulk_inv_ack* -> S:commit_done*.
+    Member: (R:commit_request & R:g) -> S:g -> R:g_success -> R:commit_done.
+    """
+
+    @pytest.fixture
+    def run(self):
+        bench = ProtocolBench(n_cores=9)
+        lines = [bench.line_homed_at(d) for d in (1, 2, 5)]
+        bench.add_sharer(lines[0], proc=6)
+        cid, order = bench.send_commit(proc=0, writes=lines)
+        bench.run()
+        return bench, cid
+
+    def test_leader_receives_request_before_returned_g(self, run):
+        bench, cid = run
+        req = times_of(bench, dir_node(1), MessageType.COMMIT_REQUEST, cid)
+        g_back = times_of(bench, dir_node(1), MessageType.G, cid)
+        assert req and g_back and req[0] < g_back[0]
+
+    def test_member_g_after_both_inputs(self, run):
+        bench, cid = run
+        # dir 5 (last member) receives request and g, in either order,
+        # then g_success strictly afterwards
+        req = times_of(bench, dir_node(5), MessageType.COMMIT_REQUEST, cid)
+        g = times_of(bench, dir_node(5), MessageType.G, cid)
+        gs = times_of(bench, dir_node(5), MessageType.G_SUCCESS, cid)
+        assert req and g and gs
+        assert gs[0] > max(req[0], g[0])
+
+    def test_commit_done_is_last_directory_message(self, run):
+        bench, cid = run
+        for d in (2, 5):
+            done = times_of(bench, dir_node(d), MessageType.COMMIT_DONE, cid)
+            others = [t for t, dst, m in bench.wire_log
+                      if dst == dir_node(d) and m.ctag == cid
+                      and m.mtype is not MessageType.COMMIT_DONE]
+            assert done and done[0] >= max(others)
+
+    def test_commit_success_before_commit_done(self, run):
+        bench, cid = run
+        succ = times_of(bench, core_node(0), MessageType.COMMIT_SUCCESS, cid)
+        done = times_of(bench, dir_node(5), MessageType.COMMIT_DONE, cid)
+        assert succ and done and succ[0] < done[0]
+
+    def test_bulk_inv_before_commit_done(self, run):
+        bench, cid = run
+        inv = times_of(bench, core_node(6), MessageType.BULK_INV, cid)
+        done = times_of(bench, dir_node(2), MessageType.COMMIT_DONE, cid)
+        assert inv and done and inv[0] < done[0]
+
+
+class TestTable5FailedCommit:
+    """Collision module is not the loser's leader: the leader (before the
+    collision) sends g and receives g_failure; modules after the collision
+    receive commit_request & g_failure but never a g."""
+
+    @pytest.fixture
+    def run(self):
+        bench = ProtocolBench(n_cores=9)
+        shared2 = bench.line_homed_at(2)
+        line5 = bench.line_homed_at(5)
+        bench.add_sharer(shared2, proc=6)
+        # winner: {2, 5}
+        win_cid, _ = bench.send_commit(proc=0, writes=[shared2, line5])
+        bench.sim.run(until=18)  # winner holds module 2 by now
+        # loser: {1, 2, 5}; leader 1 is before the collision module 2
+        line1 = bench.line_homed_at(1)
+        line5b = bench.line_homed_at(5, index=3)
+        lose_cid, lose_order = bench.send_commit(
+            proc=1, writes=[line1, shared2, line5b], seq=0)
+        bench.run()
+        return bench, win_cid, lose_cid
+
+    def test_exactly_one_group_succeeds(self, run):
+        bench, win_cid, lose_cid = run
+        assert ("success", win_cid) in bench.outcomes(0)
+        assert ("failure", lose_cid) in bench.outcomes(1)
+
+    def test_loser_leader_sent_g_then_got_failure(self, run):
+        bench, _, lose_cid = run
+        # dir 2 (collision) received the loser's g from leader 1
+        g = times_of(bench, dir_node(2), MessageType.G, lose_cid)
+        gf = times_of(bench, dir_node(1), MessageType.G_FAILURE, lose_cid)
+        assert g and gf and g[0] < gf[0]
+
+    def test_after_collision_module_never_sees_g(self, run):
+        bench, _, lose_cid = run
+        assert times_of(bench, dir_node(5), MessageType.COMMIT_REQUEST,
+                        lose_cid)
+        assert times_of(bench, dir_node(5), MessageType.G_FAILURE, lose_cid)
+        assert not times_of(bench, dir_node(5), MessageType.G, lose_cid)
+
+    def test_commit_failure_from_leader(self, run):
+        bench, _, lose_cid = run
+        fails = [m for m in bench.core_log[1]
+                 if m.mtype is MessageType.COMMIT_FAILURE]
+        assert len(fails) == 1
+        assert fails[0].src == dir_node(1)
+
+    def test_loser_entries_deallocated_everywhere(self, run):
+        bench, _, lose_cid = run
+        for d in (1, 2, 5):
+            assert lose_cid not in bench.directories[d].cst
+
+
+class TestCollisionModuleIsLeader:
+    """Table 4, right column: the loser's leader itself detects the
+    collision: R:commit_request -> (S:g_failure* & S:commit_failure)."""
+
+    def test_leader_as_collision_module(self):
+        bench = ProtocolBench(n_cores=9)
+        shared1 = bench.line_homed_at(1)
+        bench.add_sharer(shared1, proc=6)
+        win_cid, _ = bench.send_commit(proc=0, writes=[shared1])
+        bench.sim.run(until=18)
+        line5 = bench.line_homed_at(5)
+        lose_cid, order = bench.send_commit(proc=1,
+                                            writes=[shared1, line5], seq=0)
+        assert order[0] == 1  # loser's leader is the collision module
+        bench.run()
+        assert ("failure", lose_cid) in bench.outcomes(1)
+        # module 5 was told via g_failure even though formation never
+        # reached it
+        assert times_of(bench, dir_node(5), MessageType.G_FAILURE, lose_cid)

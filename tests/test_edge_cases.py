@@ -1,0 +1,146 @@
+"""Edge-case coverage: overflow truncation, deep pipelines, odd configs."""
+
+import pytest
+
+from repro.config import CacheConfig, ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+from repro.network.message import NodeRef, arbiter_node, core_node
+from repro.network.noc import Network
+from repro.engine.events import Simulator
+
+
+def tiny_cache_config(**kw):
+    """A machine whose L1/L2 are so small that chunks overflow."""
+    tiny_l1 = CacheConfig(size_bytes=4 * 32, assoc=2, line_bytes=32,
+                          round_trip_cycles=2, mshr_entries=8)
+    tiny_l2 = CacheConfig(size_bytes=8 * 32, assoc=2, line_bytes=32,
+                          round_trip_cycles=8, mshr_entries=8)
+    return SystemConfig(n_cores=4, seed=3, l1=tiny_l1, l2=tiny_l2,
+                        protocol=ProtocolKind.SCALABLEBULK, **kw)
+
+
+def build(config, specs_by_core):
+    remaining = {c: list(s) for c, s in specs_by_core.items()}
+
+    def next_spec(core_id):
+        lst = remaining.get(core_id)
+        return lst.pop(0) if lst else None
+
+    return Machine(config, next_spec=next_spec)
+
+
+class TestCacheOverflowTruncation:
+    def test_spec_overflow_truncates_chunk(self):
+        config = tiny_cache_config()
+        # write far more distinct lines than the 16-line L2 can hold as
+        # speculative data: the chunk must end early and still commit
+        accesses = [ChunkAccess(1, 32 * (1000 + i * 8), True)
+                    for i in range(24)]
+        m = build(config, {0: [ChunkSpec(500, accesses)]})
+        m.run()
+        core = m.cores[0]
+        assert core.stats.chunks_committed == 1
+        assert core.stats.overflow_truncations >= 1
+        rec = m.protocol.stats.commits[0]
+        assert rec.n_dirs >= 1
+
+    def test_overflow_then_more_chunks(self):
+        config = tiny_cache_config()
+        heavy = ChunkSpec(500, [ChunkAccess(1, 32 * (1000 + i * 8), True)
+                                for i in range(24)])
+        light = ChunkSpec(100, [ChunkAccess(1, 32 * 5000, False)])
+        m = build(config, {0: [heavy, light]})
+        m.run()
+        assert m.cores[0].stats.chunks_committed == 2
+
+
+class TestDeepCommitPipeline:
+    def test_three_active_chunks(self):
+        config = SystemConfig(n_cores=4, seed=3,
+                              max_active_chunks_per_core=3)
+        specs = [ChunkSpec(150, [ChunkAccess(1, 32 * (100 + 8 * i), True)])
+                 for i in range(5)]
+        m = build(config, {0: specs})
+        m.run()
+        assert m.cores[0].stats.chunks_committed == 5
+
+    def test_single_active_chunk(self):
+        config = SystemConfig(n_cores=4, seed=3,
+                              max_active_chunks_per_core=1)
+        specs = [ChunkSpec(150, [ChunkAccess(1, 32 * (100 + 8 * i), True)])
+                 for i in range(3)]
+        m = build(config, {0: specs})
+        m.run()
+        assert m.cores[0].stats.chunks_committed == 3
+
+
+class TestMlpConfig:
+    def test_mlp_disabled_still_works(self):
+        config = SystemConfig(n_cores=4, seed=3, mlp_lookahead=1)
+        specs = [ChunkSpec(300, [ChunkAccess(1, 32 * (100 + 128 * i), False)
+                                 for i in range(4)])]
+        m = build(config, {0: specs})
+        m.run()
+        assert m.cores[0].stats.chunks_committed == 1
+
+    def test_mlp_reduces_stall(self):
+        def run(mlp):
+            config = SystemConfig(n_cores=4, seed=3, mlp_lookahead=mlp)
+            specs = [ChunkSpec(300, [
+                ChunkAccess(1, 32 * (100 + 128 * i), False)
+                for i in range(6)])]
+            m = build(config, {0: specs})
+            m.run(prewarm=False) if hasattr(m.run, "prewarm") else m.run()
+            return m.cores[0].stats.miss_stall_cycles
+
+        assert run(4) < run(1)
+
+
+class TestNetworkEdges:
+    def test_agent_nodes_addressable(self):
+        config = SystemConfig(n_cores=16)
+        sim = Simulator()
+        net = Network(config, sim)
+        agent = arbiter_node(net.topology.center_tile())
+        assert net.tile_of(agent) == net.topology.center_tile()
+
+    def test_unknown_node_kind_rejected(self):
+        config = SystemConfig(n_cores=16)
+        net = Network(config, Simulator())
+        with pytest.raises(ValueError):
+            net.tile_of(NodeRef("ghost", 0))
+
+    def test_link_snapshot(self):
+        config = SystemConfig(n_cores=16)
+        sim = Simulator()
+        net = Network(config, sim)
+        net.register(core_node(5), lambda m: None)
+        from repro.network.message import MessageType
+        net.unicast(MessageType.G, core_node(0), core_node(5), ctag="c",
+                    inval_vec=set(), order=())
+        snap = net.link_utilization_snapshot()
+        assert snap  # at least one link was reserved
+
+
+class TestWorkloadEdges:
+    def test_zero_shared_pages_per_chunk(self):
+        from repro.workloads.profiles import AppProfile
+        from repro.workloads.generator import SyntheticWorkload
+        profile = AppProfile(name="x", suite="splash2",
+                             shared_pages_per_chunk=(0, 0), shared_frac=0.0)
+        config = SystemConfig(n_cores=4, seed=3)
+        w = SyntheticWorkload(profile, config, active_cores=4,
+                              chunks_per_partition=1)
+        spec = w.generate_chunk(0, 0)
+        assert spec.n_accesses > 0
+
+    def test_single_partition_machine(self):
+        from repro.workloads.generator import SyntheticWorkload
+        from repro.workloads.profiles import get_profile
+        config = SystemConfig(n_cores=4, seed=3)
+        w = SyntheticWorkload(get_profile("LU"), config, active_cores=1,
+                              chunks_per_partition=2, n_partitions=1)
+        m = Machine(config, workload=w)
+        m.run()
+        assert m.cores[0].stats.chunks_committed == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import Event, Simulator, drain
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(5, lambda n=name: order.append(n))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_schedule_relative_to_now(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(8, lambda: seen.append(sim.now))
+
+        sim.schedule(5, first)
+        sim.run()
+        assert seen == [13]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_zero_delay_fires(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(0, lambda: hits.append(1))
+        sim.run()
+        assert hits == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(10, lambda: hits.append(1))
+        ev.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(10, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        ev = sim.schedule(20, lambda: None)
+        ev.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, lambda: hits.append("early"))
+        sim.schedule(100, lambda: hits.append("late"))
+        sim.run(until=50)
+        assert hits == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_max_events_guard_raises(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(RuntimeError, match="livelock"):
+            sim.run(max_events=100)
+
+    def test_quiescent_after_drain(self):
+        sim = Simulator()
+        sim.schedule(3, lambda: None)
+        drain(sim)
+        assert sim.quiescent()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_cascading_events_same_cycle(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0, lambda: order.append("inner"))
+
+        sim.schedule(1, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the deterministic RNG streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "x")
+        assert [a.randint(0, 1000) for _ in range(20)] == \
+               [b.randint(0, 1000) for _ in range(20)]
+
+    def test_different_labels_differ(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "y")
+        assert [a.randint(0, 10**9) for _ in range(5)] != \
+               [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_split_independent_of_draw_order(self):
+        parent1 = DeterministicRng(9)
+        parent1.randint(0, 100)  # draw before splitting
+        child1 = parent1.split("w")
+        parent2 = DeterministicRng(9)
+        child2 = parent2.split("w")  # split without drawing
+        assert [child1.randint(0, 10**6) for _ in range(10)] == \
+               [child2.randint(0, 10**6) for _ in range(10)]
+
+    def test_nested_splits_unique(self):
+        root = DeterministicRng(3)
+        streams = [root.split(f"a/{i}") for i in range(4)]
+        seqs = [tuple(s.randint(0, 10**9) for _ in range(4)) for s in streams]
+        assert len(set(seqs)) == 4
+
+
+class TestDistributions:
+    def test_geometric_mean_roughly_inverse_p(self):
+        rng = DeterministicRng(5)
+        samples = [rng.geometric(0.25) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 3.4 < mean < 4.6  # E = 1/p = 4
+
+    def test_geometric_rejects_bad_p(self):
+        rng = DeterministicRng(5)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_zipf_in_range(self):
+        rng = DeterministicRng(6)
+        for _ in range(500):
+            assert 0 <= rng.zipf_index(37, 0.8) < 37
+
+    def test_zipf_skews_low(self):
+        rng = DeterministicRng(6)
+        samples = [rng.zipf_index(100, 2.0) for _ in range(3000)]
+        low = sum(1 for s in samples if s < 10)
+        assert low > len(samples) * 0.4
+
+    def test_zipf_zero_skew_uniformish(self):
+        rng = DeterministicRng(6)
+        samples = [rng.zipf_index(10, 0.0) for _ in range(5000)]
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_zipf_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf_index(0)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(0.01, 0.99))
+    def test_bernoulli_is_boolean(self, seed, p):
+        rng = DeterministicRng(seed)
+        assert rng.bernoulli(p) in (True, False)
+
+    def test_sample_and_choice(self):
+        rng = DeterministicRng(2)
+        pool = list(range(50))
+        picked = rng.sample(pool, 10)
+        assert len(set(picked)) == 10
+        assert rng.choice(pool) in pool

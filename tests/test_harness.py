@@ -1,0 +1,152 @@
+"""Tests for the runner, experiment functions and table renderers."""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.experiments import (
+    BreakdownBar, run_bottleneck_ratio, run_commit_latency,
+    run_dirs_distribution, run_dirs_per_commit, run_execution_time_figure,
+    run_queue_length, run_traffic,
+)
+from repro.harness.runner import RunResult, SimulationRunner, run_app
+from repro.harness.tables import (
+    normalize_traffic, render_breakdown, render_commit_latency,
+    render_dirs_per_commit, render_distribution, render_ratio_table,
+    render_traffic,
+)
+
+SMALL = dict(n_cores=4, chunks_per_partition=1)
+
+
+class TestRunApp:
+    def test_returns_result(self):
+        r = run_app("LU", **SMALL)
+        assert isinstance(r, RunResult)
+        assert r.chunks_committed == 4
+        assert r.total_cycles > 0
+
+    def test_breakdown_sums_to_one(self):
+        r = run_app("LU", **SMALL)
+        assert sum(r.breakdown_fractions().values()) == pytest.approx(1.0)
+
+    def test_speedup_and_normalized_inverse(self):
+        r = run_app("LU", **SMALL)
+        assert r.speedup(r.total_cycles * 2) == pytest.approx(2.0)
+        assert r.normalized_time(r.total_cycles) == pytest.approx(1.0)
+
+    def test_active_cores_subset(self):
+        r = run_app("LU", n_cores=4, active_cores=1, chunks_per_partition=1)
+        assert r.chunks_committed == 4  # all partitions on one core
+
+    def test_deterministic_across_runs(self):
+        a = run_app("FFT", **SMALL)
+        b = run_app("FFT", **SMALL)
+        assert a.total_cycles == b.total_cycles
+        assert a.total_messages == b.total_messages
+
+    def test_all_protocols_run(self):
+        for proto in ProtocolKind:
+            r = run_app("LU", protocol=proto, **SMALL)
+            assert r.chunks_committed == 4, proto
+
+    def test_keep_machine(self):
+        r = run_app("LU", keep_machine=True, **SMALL)
+        assert r.machine is not None
+        assert r.machine.sim.quiescent()
+
+
+class TestExperimentFunctions:
+    def test_execution_time_figure(self):
+        fig = run_execution_time_figure(
+            ["LU"], core_counts=(4,), chunks_per_partition=1)
+        bar = fig.bar("LU", ProtocolKind.SCALABLEBULK, 4)
+        assert isinstance(bar, BreakdownBar)
+        assert bar.speedup > 0
+        total = bar.useful + bar.cache_miss + bar.commit + bar.squash
+        assert total == pytest.approx(bar.normalized_time, rel=1e-6)
+
+    def test_dirs_per_commit_rows(self):
+        rows = run_dirs_per_commit(["Radix"], core_counts=(4,),
+                                   chunks_per_partition=1)
+        assert rows[0].mean_dirs >= rows[0].mean_write_dirs
+        assert rows[0].mean_read_only_dirs >= 0
+
+    def test_dirs_distribution_sums_to_100(self):
+        dist = run_dirs_distribution(["LU"], n_cores=4,
+                                     chunks_per_partition=1)
+        assert sum(dist["LU"].values()) == pytest.approx(100.0)
+
+    def test_commit_latency_samples(self):
+        samples = run_commit_latency(
+            ["LU"], n_cores=4, protocols=(ProtocolKind.SCALABLEBULK,),
+            chunks_per_partition=1)
+        assert len(samples[ProtocolKind.SCALABLEBULK]) == 4
+
+    def test_bottleneck_and_queue(self):
+        bn = run_bottleneck_ratio(["LU"], n_cores=4,
+                                  protocols=(ProtocolKind.TCC,),
+                                  chunks_per_partition=1)
+        assert ProtocolKind.TCC in bn["LU"]
+        q = run_queue_length(["LU"], n_cores=4,
+                             protocols=(ProtocolKind.TCC,),
+                             chunks_per_partition=1)
+        assert q["LU"][ProtocolKind.TCC] >= 0
+
+    def test_traffic_counts(self):
+        data = run_traffic(["LU"], n_cores=4,
+                           protocols=(ProtocolKind.TCC,
+                                      ProtocolKind.SCALABLEBULK),
+                           chunks_per_partition=1)
+        tcc = data["LU"][ProtocolKind.TCC]
+        assert sum(tcc.values()) > 0
+
+
+class TestRenderers:
+    def test_render_breakdown(self):
+        fig = run_execution_time_figure(
+            ["LU"], core_counts=(4,),
+            protocols=(ProtocolKind.SCALABLEBULK,), chunks_per_partition=1)
+        text = render_breakdown(fig, (ProtocolKind.SCALABLEBULK,), (4,))
+        assert "LU" in text and "AVERAGE" in text
+
+    def test_render_dirs(self):
+        rows = run_dirs_per_commit(["LU"], core_counts=(4,),
+                                   chunks_per_partition=1)
+        assert "LU" in render_dirs_per_commit(rows)
+
+    def test_render_distribution(self):
+        text = render_distribution({"LU": {0: 10.0, 1: 90.0, "more": 0.0}},
+                                   upper=1)
+        assert "LU" in text
+
+    def test_render_commit_latency(self):
+        text = render_commit_latency({ProtocolKind.SCALABLEBULK: [10, 20]})
+        assert "mean" in text
+
+    def test_render_ratio_table(self):
+        text = render_ratio_table(
+            {"LU": {ProtocolKind.TCC: 2.5}}, "bottleneck")
+        assert "AVERAGE" in text
+
+    def test_normalize_traffic_to_tcc(self):
+        data = {
+            ProtocolKind.TCC: {"MemRd": 50, "SmallCMessage": 50,
+                               "Other": 0},
+            ProtocolKind.SCALABLEBULK: {"MemRd": 50, "SmallCMessage": 0,
+                                        "Other": 0},
+        }
+        norm = normalize_traffic(data)
+        assert sum(norm[ProtocolKind.TCC].values()) == pytest.approx(100.0)
+        assert sum(norm[ProtocolKind.SCALABLEBULK].values()) == \
+            pytest.approx(50.0)
+
+    def test_normalize_folds_other_into_reads(self):
+        data = {ProtocolKind.TCC: {"MemRd": 50, "Other": 50}}
+        norm = normalize_traffic(data)
+        assert norm[ProtocolKind.TCC]["MemRd"] == pytest.approx(100.0)
+
+    def test_render_traffic(self):
+        data = run_traffic(["LU"], n_cores=4,
+                           protocols=(ProtocolKind.TCC,),
+                           chunks_per_partition=1)
+        assert "LU" in render_traffic(data)

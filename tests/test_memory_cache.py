@@ -1,0 +1,137 @@
+"""Unit tests for the set-associative cache with speculative lines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def tiny_cache(assoc=2, sets=4):
+    return Cache(CacheConfig(size_bytes=sets * assoc * 32, assoc=assoc,
+                             line_bytes=32, round_trip_cycles=2,
+                             mshr_entries=8))
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert c.lookup(5) is None
+        c.fill(5)
+        assert c.lookup(5) is not None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_fill_same_line_idempotent(self):
+        c = tiny_cache()
+        c.fill(5)
+        result = c.fill(5)
+        assert result.line is None
+        assert c.occupancy == 1
+
+    def test_lru_eviction_order(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)        # 0 becomes MRU
+        ev = c.fill(2)     # must evict 1
+        assert ev.line.line_addr == 1
+        assert 0 in c and 2 in c and 1 not in c
+
+    def test_sets_isolate_lines(self):
+        c = tiny_cache(assoc=1, sets=4)
+        c.fill(0)
+        c.fill(1)  # different set (line % 4)
+        assert 0 in c and 1 in c
+
+    def test_peek_does_not_touch(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.fill(0)
+        c.fill(1)
+        c.peek(0)          # no LRU update
+        ev = c.fill(2)
+        assert ev.line.line_addr == 0
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, addrs):
+        c = tiny_cache(assoc=2, sets=4)
+        for a in addrs:
+            c.fill(a)
+        assert c.occupancy <= 8
+        for s in c._sets.values():
+            assert len(s) <= 2
+
+
+class TestSpeculativeLines:
+    def test_spec_line_not_evicted_when_alternative(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.fill(0)
+        c.fill(1)
+        c.mark_spec_write(0, "chunk-a")  # 0 is LRU but speculative
+        ev = c.fill(2)
+        assert ev.line.line_addr == 1    # non-spec victim preferred
+        assert ev.overflow_ctag is None
+
+    def test_overflow_when_all_ways_spec(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.fill(0)
+        c.fill(1)
+        c.mark_spec_write(0, "a")
+        c.mark_spec_write(1, "b")
+        ev = c.fill(2)
+        assert ev.overflow_ctag == "a"   # LRU way's owner reported
+
+    def test_commit_spec_promotes_to_dirty(self):
+        c = tiny_cache()
+        c.fill(7)
+        c.mark_spec_write(7, "t")
+        assert c.commit_spec(7, "t")
+        line = c.peek(7)
+        assert line.dirty and line.spec_writer is None
+
+    def test_commit_spec_wrong_tag_rejected(self):
+        c = tiny_cache()
+        c.fill(7)
+        c.mark_spec_write(7, "t")
+        assert not c.commit_spec(7, "other")
+
+    def test_mark_spec_absent_line(self):
+        c = tiny_cache()
+        assert not c.mark_spec_write(9, "t")
+
+    def test_invalidate_returns_line(self):
+        c = tiny_cache()
+        c.fill(3)
+        assert c.invalidate(3).line_addr == 3
+        assert c.invalidate(3) is None
+
+    def test_dirty_victim_reported(self):
+        c = tiny_cache(assoc=1, sets=1)
+        c.fill(0)
+        c.mark_spec_write(0, "t")
+        c.commit_spec(0, "t")
+        ev = c.fill(1)
+        assert ev.wrote_back
+
+    def test_clear_dirty(self):
+        c = tiny_cache()
+        c.fill(0)
+        c.mark_spec_write(0, "t")
+        c.commit_spec(0, "t")
+        c.clear_dirty(0)
+        assert not c.peek(0).dirty
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = tiny_cache()
+        c.fill(0)
+        c.lookup(0)
+        c.lookup(1)
+        assert c.hit_rate == 0.5
+
+    def test_resident_lines(self):
+        c = tiny_cache()
+        for a in (1, 2, 3):
+            c.fill(a)
+        assert set(c.resident_lines()) == {1, 2, 3}

@@ -1,0 +1,56 @@
+"""Unit tests for first-touch page mapping."""
+
+import pytest
+
+from repro.memory.page_map import PageMapper
+
+
+class TestFirstTouch:
+    def test_first_toucher_becomes_home(self):
+        m = PageMapper(4096, 16)
+        assert m.home_of_page(10, toucher=5) == 5
+        # later touchers do not change the home
+        assert m.home_of_page(10, toucher=9) == 5
+
+    def test_toucher_wraps_to_directory_count(self):
+        m = PageMapper(4096, 4)
+        assert m.home_of_page(3, toucher=6) == 2
+
+    def test_lookup_unmapped_is_none(self):
+        m = PageMapper(4096, 4)
+        assert m.lookup(99) is None
+
+    def test_premap_overrides_first_touch(self):
+        m = PageMapper(4096, 8)
+        m.premap(7, 3)
+        assert m.home_of_page(7, toucher=0) == 3
+
+    def test_home_of_line(self):
+        m = PageMapper(4096, 8)
+        # line 128 * 32B = byte 4096 -> page 1
+        home = m.home_of_line(128, 32, toucher=2)
+        assert home == 2
+        assert m.lookup(1) == 2
+
+    def test_page_of(self):
+        m = PageMapper(4096, 8)
+        assert m.page_of(4095) == 0
+        assert m.page_of(4096) == 1
+
+    def test_first_touch_counter(self):
+        m = PageMapper(4096, 8)
+        m.home_of_page(1, 0)
+        m.home_of_page(1, 1)
+        m.home_of_page(2, 0)
+        assert m.first_touches == 2
+
+    def test_distribution(self):
+        m = PageMapper(4096, 4)
+        for p in range(8):
+            m.premap(p, p % 4)
+        dist = m.distribution()
+        assert dist == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PageMapper(3000, 4)

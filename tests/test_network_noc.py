@@ -1,0 +1,165 @@
+"""Unit tests for the NoC: latency, contention, traffic accounting."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.events import Simulator
+from repro.network.message import (
+    Message, MessageType, TrafficClass, core_node, default_size_bytes,
+    dir_node, traffic_class_of, SCALABLEBULK_TABLE1_TYPES,
+)
+from repro.network.noc import Network
+
+
+def make_net(n_cores=4, contention=True, **kw):
+    config = SystemConfig(n_cores=n_cores,
+                          network_contention=contention, **kw)
+    sim = Simulator()
+    net = Network(config, sim)
+    return config, sim, net
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self):
+        _, sim, net = make_net()
+        got = []
+        net.register(core_node(1), got.append)
+        net.unicast(MessageType.READ_NACK, core_node(0), core_node(1), line=5)
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload["line"] == 5
+
+    def test_unregistered_destination_raises(self):
+        _, sim, net = make_net()
+        with pytest.raises(KeyError):
+            net.unicast(MessageType.READ_NACK, core_node(0), core_node(1))
+
+    def test_duplicate_registration_rejected(self):
+        _, _, net = make_net()
+        net.register(core_node(0), lambda m: None)
+        with pytest.raises(ValueError):
+            net.register(core_node(0), lambda m: None)
+
+    def test_same_tile_delivery_is_one_cycle(self):
+        _, sim, net = make_net()
+        times = []
+        net.register(dir_node(2), lambda m: times.append(sim.now))
+        net.unicast(MessageType.READ_REQ, core_node(2), dir_node(2), line=1,
+                    requester=2)
+        sim.run()
+        assert times == [1]
+
+    def test_remote_latency_includes_hops(self):
+        config, sim, net = make_net(contention=False)
+        times = []
+        net.register(core_node(3), lambda m: times.append(sim.now))
+        net.unicast(MessageType.READ_NACK, core_node(0), core_node(3))
+        sim.run()
+        hops = net.topology.hop_distance(0, 3)
+        per_hop = config.link_latency_cycles + config.router_latency_cycles
+        assert times[0] >= hops * per_hop
+
+    def test_multicast_reaches_all(self):
+        _, sim, net = make_net(n_cores=9)
+        got = []
+        for i in (1, 2, 5):
+            net.register(dir_node(i), lambda m, i=i: got.append(i))
+        net.multicast(MessageType.G_SUCCESS, dir_node(0),
+                      [dir_node(1), dir_node(2), dir_node(5)], ctag="x")
+        sim.run()
+        assert sorted(got) == [1, 2, 5]
+
+
+class TestContention:
+    def test_contention_serializes_same_link(self):
+        """Two large messages on the same route: second arrives later."""
+        _, sim, net = make_net(n_cores=16, contention=True)
+        times = []
+        net.register(core_node(3), lambda m: times.append(sim.now))
+        for _ in range(2):
+            net.unicast(MessageType.BULK_INV, core_node(0), core_node(3),
+                        ctag="c")
+        sim.run()
+        assert times[1] > times[0]
+
+    def test_no_contention_identical_latency(self):
+        _, sim, net = make_net(n_cores=16, contention=False)
+        times = []
+        net.register(core_node(3), lambda m: times.append(sim.now))
+        for _ in range(2):
+            net.unicast(MessageType.BULK_INV, core_node(0), core_node(3),
+                        ctag="c")
+        sim.run()
+        assert times[0] == times[1]
+
+    def test_large_messages_slower_than_small(self):
+        _, sim1, net1 = make_net(n_cores=16, contention=False)
+        small_t = []
+        net1.register(core_node(3), lambda m: small_t.append(sim1.now))
+        net1.unicast(MessageType.G, core_node(0), core_node(3), ctag="c",
+                     inval_vec=set(), order=())
+        sim1.run()
+        _, sim2, net2 = make_net(n_cores=16, contention=False)
+        large_t = []
+        net2.register(core_node(3), lambda m: large_t.append(sim2.now))
+        net2.unicast(MessageType.COMMIT_REQUEST, core_node(0), core_node(3),
+                     ctag="c")
+        sim2.run()
+        assert large_t[0] > small_t[0]
+
+
+class TestTrafficAccounting:
+    def test_counts_by_class(self):
+        _, sim, net = make_net()
+        net.register(core_node(1), lambda m: None)
+        net.unicast(MessageType.DATA_FROM_MEM, core_node(0), core_node(1),
+                    line=1)
+        net.unicast(MessageType.DATA_FROM_SHARER, core_node(0), core_node(1),
+                    line=1)
+        sim.run()
+        counts = net.stats.class_counts()
+        assert counts[TrafficClass.MEM_RD] == 1
+        assert counts[TrafficClass.REMOTE_SH_RD] == 1
+
+    def test_total_bytes_accumulate(self):
+        _, sim, net = make_net()
+        net.register(core_node(1), lambda m: None)
+        net.unicast(MessageType.BULK_INV, core_node(0), core_node(1), ctag="c")
+        assert net.stats.total_bytes == default_size_bytes(MessageType.BULK_INV)
+
+    def test_mean_latency_positive(self):
+        _, sim, net = make_net()
+        net.register(core_node(1), lambda m: None)
+        net.unicast(MessageType.READ_NACK, core_node(0), core_node(1))
+        sim.run()
+        assert net.stats.mean_latency > 0
+
+
+class TestMessageVocabulary:
+    def test_table1_has_ten_types(self):
+        assert len(SCALABLEBULK_TABLE1_TYPES) == 10
+
+    def test_signature_carriers_are_large(self):
+        assert traffic_class_of(MessageType.COMMIT_REQUEST) is \
+            TrafficClass.LARGE_COMMIT
+        assert traffic_class_of(MessageType.BULK_INV) is \
+            TrafficClass.LARGE_COMMIT
+
+    def test_control_commit_messages_are_small(self):
+        for mt in (MessageType.G, MessageType.G_SUCCESS,
+                   MessageType.COMMIT_DONE, MessageType.TCC_SKIP,
+                   MessageType.SEQ_OCCUPY):
+            assert traffic_class_of(mt) is TrafficClass.SMALL_COMMIT
+
+    def test_read_requests_are_other(self):
+        assert traffic_class_of(MessageType.READ_REQ) is TrafficClass.OTHER
+        assert traffic_class_of(MessageType.WRITEBACK) is TrafficClass.OTHER
+
+    def test_commit_request_carries_two_signatures(self):
+        assert default_size_bytes(MessageType.COMMIT_REQUEST) > \
+            default_size_bytes(MessageType.BULK_INV)
+
+    def test_message_uids_unique(self):
+        a = Message(MessageType.G, core_node(0), core_node(1))
+        b = Message(MessageType.G, core_node(0), core_node(1))
+        assert a.uid != b.uid

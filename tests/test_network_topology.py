@@ -1,0 +1,115 @@
+"""Unit + property tests for the 2D torus and its routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import torus_shape
+from repro.network.topology import Torus2D
+
+
+class TestShape:
+    def test_64_is_8x8(self):
+        assert torus_shape(64) == (8, 8)
+
+    def test_32_is_4x8(self):
+        assert torus_shape(32) == (4, 8)
+
+    def test_prime_is_1xn(self):
+        assert torus_shape(13) == (1, 13)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            torus_shape(0)
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        t = Torus2D(4, 8)
+        for tile in range(32):
+            r, c = t.coord(tile)
+            assert t.tile(r, c) == tile
+
+    def test_out_of_range(self):
+        t = Torus2D(2, 2)
+        with pytest.raises(ValueError):
+            t.coord(4)
+
+    def test_center_tile(self):
+        t = Torus2D(8, 8)
+        assert t.center_tile() == t.tile(4, 4)
+
+    def test_wraparound_tile(self):
+        t = Torus2D(4, 4)
+        assert t.tile(-1, 0) == t.tile(3, 0)
+        assert t.tile(0, 4) == t.tile(0, 0)
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        t = Torus2D(4, 4)
+        assert t.hop_distance(5, 5) == 0
+
+    def test_neighbors_distance_one(self):
+        t = Torus2D(4, 4)
+        for n in t.neighbors(5):
+            assert t.hop_distance(5, n) == 1
+
+    def test_wraparound_shortens(self):
+        t = Torus2D(1, 8)
+        # 0 -> 7 is one hop around the ring, not seven
+        assert t.hop_distance(0, 7) == 1
+
+    def test_symmetry(self):
+        t = Torus2D(4, 8)
+        for a in range(0, 32, 5):
+            for b in range(0, 32, 7):
+                assert t.hop_distance(a, b) == t.hop_distance(b, a)
+
+    def test_max_distance_bounded(self):
+        t = Torus2D(8, 8)
+        for a in range(64):
+            assert t.hop_distance(0, a) <= 8  # rows/2 + cols/2
+
+    def test_average_distance_positive(self):
+        assert Torus2D(4, 4).average_distance() > 0
+
+
+class TestRouting:
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=100, deadline=None)
+    def test_route_length_matches_distance(self, a, b):
+        t = Torus2D(4, 8)
+        route = t.route(a, b)
+        assert len(route) == t.hop_distance(a, b)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_route_is_connected(self, a, b):
+        t = Torus2D(8, 8)
+        route = t.route(a, b)
+        cur = a
+        for frm, to in route:
+            assert frm == cur
+            assert t.hop_distance(frm, to) == 1
+            cur = to
+        assert cur == b
+
+    def test_route_is_deterministic(self):
+        t = Torus2D(4, 8)
+        assert t.route(3, 29) == t.route(3, 29)
+
+    def test_empty_route_same_tile(self):
+        assert Torus2D(4, 4).route(7, 7) == []
+
+    def test_dimension_order_x_first(self):
+        t = Torus2D(4, 4)
+        route = t.route(t.tile(0, 0), t.tile(2, 2))
+        # first hops move along the row (column dimension)
+        first_from, first_to = route[0]
+        assert t.coord(first_from)[0] == t.coord(first_to)[0]
+
+    def test_neighbors_count(self):
+        t = Torus2D(4, 4)
+        assert len(list(t.neighbors(0))) == 4
+        ring = Torus2D(1, 8)
+        assert len(list(ring.neighbors(0))) == 2

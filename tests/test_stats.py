@@ -1,0 +1,119 @@
+"""Tests for metrics collection: attempts, bottleneck ratio, histograms."""
+
+import pytest
+
+from repro.stats.histograms import Histogram, bucketize, distribution_percentages
+from repro.stats.metrics import AttemptPhase, MachineStats
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram()
+        for v in (1, 2, 3):
+            h.add(v)
+        assert h.mean() == 2.0
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.add(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+
+    def test_percentages_with_overflow(self):
+        h = Histogram()
+        for v in (0, 1, 1, 20):
+            h.add(v)
+        pct = h.percentages(upper=14)
+        assert pct[0] == 25.0
+        assert pct[1] == 50.0
+        assert pct["more"] == 25.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean() == 0.0
+        assert h.percentile(50) == 0
+        assert h.percentages(3)["more"] == 0.0
+
+    def test_bucketize(self):
+        buckets = bucketize([5, 55, 55, 1000], bucket_width=50, n_buckets=4)
+        assert buckets[0] == (0, 1)
+        assert buckets[1] == (50, 2)
+        assert buckets[3] == (150, 1)  # clamped to last bucket
+
+    def test_distribution_percentages(self):
+        pct = distribution_percentages([1, 1, 2], upper=3)
+        assert pct[1] == pytest.approx(66.667, abs=0.01)
+
+
+class TestAttemptBookkeeping:
+    def test_commit_record_roundtrip(self):
+        s = MachineStats()
+        s.record_commit("c", 0, n_dirs=3, n_write_dirs=2, latency=100,
+                        total_latency=150, retries=1)
+        assert s.n_commits == 1
+        assert s.mean_commit_latency() == 100
+        assert s.mean_dirs_per_commit() == 3
+        assert s.mean_read_only_dirs_per_commit() == 1
+
+    def test_bottleneck_sample_taken_at_formation(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_started("b", 0)
+        s.attempt_group_formed("a")
+        assert len(s.bottleneck_samples) == 1
+        forming, committing = s.bottleneck_samples[0]
+        assert committing == 1      # "a" just formed
+        assert len(forming) == 1    # "b" still forming
+
+    def test_bottleneck_excludes_failed_attempts(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_started("b", 0)
+        s.attempt_group_formed("a")  # sample: b forming, a committing
+        s.attempt_finished("b", success=False)
+        s.attempt_finished("a", success=True)
+        assert s.bottleneck_ratio() == 0.0  # b failed -> excluded
+
+    def test_bottleneck_counts_successful_forming(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_started("b", 0)
+        s.attempt_group_formed("a")
+        s.attempt_finished("b", success=True)
+        s.attempt_finished("a", success=True)
+        assert s.bottleneck_ratio() == 1.0
+
+    def test_queue_probe_overrides_phase_count(self):
+        s = MachineStats()
+        s.queue_probe = lambda: 7
+        s.attempt_started("a", 0)
+        s.attempt_group_formed("a")
+        assert s.queue_samples == [7]
+
+    def test_queued_phase_counted_without_probe(self):
+        s = MachineStats()
+        s.attempt_started("q", 0, queued=True)
+        s.attempt_started("a", 0)
+        s.attempt_group_formed("a")
+        assert s.queue_samples == [1]
+
+    def test_failures_counted(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_finished("a", success=False)
+        assert s.commit_failures == 1
+
+    def test_finished_attempts_leave_live_sets(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_group_formed("a")
+        s.attempt_finished("a", success=True)
+        assert not s._live_by_ctag
+        for phase in AttemptPhase:
+            assert not s._live_by_phase[phase]
+
+    def test_mean_queue_length(self):
+        s = MachineStats()
+        s.queue_samples.extend([0, 2, 4])
+        assert s.mean_queue_length() == 2.0

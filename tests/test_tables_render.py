@@ -1,0 +1,90 @@
+"""Focused tests for the table renderers used by EXPERIMENTS.md."""
+
+import pytest
+
+from repro.config import ProtocolKind
+from repro.harness.experiments import BreakdownBar, DirsPerCommitRow, Figure7Result
+from repro.harness.tables import (
+    TRAFFIC_ORDER, normalize_traffic, render_breakdown,
+    render_commit_latency, render_dirs_per_commit, render_distribution,
+    render_ratio_table, render_traffic,
+)
+
+
+def bar(app="LU", proto=ProtocolKind.SCALABLEBULK, cores=4, norm=0.05,
+        speedup=20.0):
+    return BreakdownBar(app=app, protocol=proto, n_cores=cores,
+                        normalized_time=norm, speedup=speedup,
+                        useful=norm * 0.7, cache_miss=norm * 0.2,
+                        commit=norm * 0.05, squash=norm * 0.05)
+
+
+class TestBreakdownRendering:
+    def test_rows_and_averages(self):
+        fig = Figure7Result(bars=[bar(), bar(proto=ProtocolKind.TCC)],
+                            baselines={"LU": 1000})
+        text = render_breakdown(fig, (ProtocolKind.SCALABLEBULK,
+                                      ProtocolKind.TCC), (4,))
+        assert text.count("LU") == 2
+        assert "AVERAGE" in text
+        assert "20.0" in text
+
+    def test_missing_bars_skipped(self):
+        fig = Figure7Result(bars=[bar()], baselines={"LU": 1000})
+        text = render_breakdown(fig, (ProtocolKind.SEQ,), (4,))
+        assert "LU" not in text.splitlines()[1] if len(text.splitlines()) > 1 \
+            else True
+
+    def test_figure_helpers(self):
+        fig = Figure7Result(bars=[bar(speedup=10), bar(app="FFT", speedup=30)],
+                            baselines={})
+        assert fig.average_speedup(ProtocolKind.SCALABLEBULK, 4) == 20
+        with pytest.raises(KeyError):
+            fig.bar("Radix", ProtocolKind.SCALABLEBULK, 4)
+
+    def test_commit_fraction_average(self):
+        fig = Figure7Result(bars=[bar()])
+        frac = fig.average_commit_fraction(ProtocolKind.SCALABLEBULK, 4)
+        assert frac == pytest.approx(0.05)
+
+
+class TestOtherRenderers:
+    def test_dirs_rows(self):
+        rows = [DirsPerCommitRow("Radix", 64, 11.5, 10.9)]
+        text = render_dirs_per_commit(rows)
+        assert "11.50" in text and "10.90" in text and "0.60" in text
+
+    def test_distribution_columns(self):
+        text = render_distribution({"X": {0: 50.0, 1: 25.0, "more": 25.0}},
+                                   upper=1)
+        header = text.splitlines()[0]
+        assert "more" in header
+
+    def test_latency_histogram_bars(self):
+        text = render_commit_latency({ProtocolKind.SEQ: [100] * 10 + [900]})
+        assert "SEQ" in text and "mean" in text and "#" in text
+
+    def test_latency_empty(self):
+        text = render_commit_latency({ProtocolKind.SEQ: []})
+        assert "no commits" in text
+
+    def test_ratio_table_average_row(self):
+        text = render_ratio_table({"A": {ProtocolKind.TCC: 2.0},
+                                   "B": {ProtocolKind.TCC: 4.0}}, "t")
+        assert "3.00" in text  # average of 2 and 4
+
+    def test_traffic_normalization_order(self):
+        data = {"A": {ProtocolKind.TCC: {k: 10 for k in TRAFFIC_ORDER}}}
+        text = render_traffic(data)
+        assert "100.0" in text
+
+    def test_normalize_without_tcc_self_normalizes(self):
+        data = {ProtocolKind.SCALABLEBULK: {"MemRd": 10, "Other": 0}}
+        norm = normalize_traffic(data)
+        assert sum(norm[ProtocolKind.SCALABLEBULK].values()) == \
+            pytest.approx(100.0)
+
+    def test_normalize_empty_counts(self):
+        data = {ProtocolKind.TCC: {}}
+        norm = normalize_traffic(data)
+        assert sum(norm[ProtocolKind.TCC].values()) == 0.0

@@ -1,0 +1,117 @@
+"""Focused tests for TCC's mark-gather and TID-order machinery."""
+
+import pytest
+
+from repro.config import ProtocolKind
+from repro.network.message import MessageType, core_node, dir_node
+from protocol_bench import ProtocolBench
+
+
+@pytest.fixture
+def bench():
+    return ProtocolBench(n_cores=9, protocol=ProtocolKind.TCC)
+
+
+def send_probe(bench, dir_id, tid, cid, proc=0, n_marks=0):
+    bench.network.unicast(MessageType.TCC_PROBE, core_node(proc),
+                          dir_node(dir_id), ctag=cid, tid=tid, proc=proc,
+                          n_marks=n_marks)
+
+
+def send_mark(bench, dir_id, cid, line, proc=0):
+    bench.network.unicast(MessageType.TCC_MARK, core_node(proc),
+                          dir_node(dir_id), ctag=cid, line=line)
+
+
+def send_skip(bench, dir_id, tid, cid=("skip", 0), proc=0):
+    bench.network.unicast(MessageType.TCC_SKIP, core_node(proc),
+                          dir_node(dir_id), ctag=cid, tid=tid)
+
+
+class TestMarkWait:
+    def test_service_waits_for_all_marks(self, bench):
+        d = bench.directories[2]
+        line = bench.line_homed_at(2)
+        cid = ("c1", 0)
+        send_probe(bench, 2, tid=1, cid=cid, n_marks=2)
+        send_mark(bench, 2, cid, line)
+        bench.run()
+        # one of two marks arrived: the directory must be stalled on it
+        assert d.busy_with == 1
+        assert d._waiting_for_marks is not None
+        # the missing mark arrives -> service completes, done sent
+        send_mark(bench, 2, cid, line + 1)
+        bench.run()
+        assert d.busy_with is None
+        assert d.expected_tid == 2
+        dones = [m for m in bench.core_log[0]
+                 if m.mtype is MessageType.TCC_DIR_DONE]
+        assert len(dones) == 1
+
+    def test_no_marks_services_immediately(self, bench):
+        cid = ("c1", 0)
+        send_probe(bench, 2, tid=1, cid=cid, n_marks=0)
+        bench.run()
+        assert bench.directories[2].expected_tid == 2
+
+    def test_abort_releases_mark_stall(self, bench):
+        d = bench.directories[2]
+        cid = ("c1", 0)
+        send_probe(bench, 2, tid=1, cid=cid, n_marks=3)
+        bench.run()
+        assert d._waiting_for_marks is not None
+        bench.network.unicast(MessageType.TCC_COMMIT_DONE, core_node(0),
+                              dir_node(2), ctag=cid, tid=1)
+        bench.run()
+        assert d.busy_with is None
+        assert d.expected_tid == 2
+
+
+class TestTidOrder:
+    def test_out_of_order_probes_wait(self, bench):
+        d = bench.directories[2]
+        send_probe(bench, 2, tid=3, cid=("c3", 0))
+        bench.run()
+        assert d.expected_tid == 1       # cannot service tid 3 yet
+        send_skip(bench, 2, tid=1)
+        send_skip(bench, 2, tid=2)
+        bench.run()
+        assert d.expected_tid == 4       # 1,2 skipped, 3 serviced
+
+    def test_interleaved_probe_and_skip(self, bench):
+        d = bench.directories[2]
+        send_skip(bench, 2, tid=1)
+        send_probe(bench, 2, tid=2, cid=("c2", 0))
+        send_skip(bench, 2, tid=3)
+        bench.run()
+        assert d.expected_tid == 4
+        assert d.commits_serviced == 1
+
+    def test_abort_before_probe_becomes_skip(self, bench):
+        d = bench.directories[2]
+        bench.network.unicast(MessageType.TCC_COMMIT_DONE, core_node(0),
+                              dir_node(2), ctag=("dead", 0), tid=1)
+        bench.run()
+        send_probe(bench, 2, tid=1, cid=("dead", 0))
+        bench.run()
+        assert d.expected_tid == 2
+        assert d.commits_serviced == 0
+
+    def test_sharers_invalidated_in_order(self, bench):
+        d = bench.directories[2]
+        l1 = bench.line_homed_at(2, index=0)
+        l2 = bench.line_homed_at(2, index=1)
+        bench.add_sharer(l1, proc=5)
+        bench.add_sharer(l2, proc=6)
+        cid = ("c1", 0)
+        send_probe(bench, 2, tid=1, cid=cid, n_marks=2)
+        send_mark(bench, 2, cid, l1)
+        send_mark(bench, 2, cid, l2)
+        bench.run()
+        # both sharers invalidated (per-line), one dir-done at the end
+        invs5 = [m for m in bench.core_log[5]
+                 if m.mtype is MessageType.TCC_INV]
+        invs6 = [m for m in bench.core_log[6]
+                 if m.mtype is MessageType.TCC_INV]
+        assert len(invs5) == 1 and len(invs6) == 1
+        assert d.expected_tid == 2

@@ -1,0 +1,135 @@
+"""Tests for trace-file workloads (JSONL + text formats, round trip)."""
+
+import io
+import json
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+from repro.workloads.tracefile import TraceFileWorkload, TraceFormatError
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(n_cores=4, seed=3)
+
+
+def write_jsonl(tmp_path, records):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestJsonlLoading:
+    def test_basic_load(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [
+            {"core": 0, "instructions": 100,
+             "accesses": [[1, 4096, False], [2, 8192, True]]},
+            {"core": 1, "accesses": [[1, 4096, False]]},
+        ])
+        w = TraceFileWorkload.from_jsonl(path, config)
+        assert w.total_chunks == 2
+        spec = w.next_spec(0)
+        assert spec.n_instructions == 100
+        assert spec.accesses[1].is_write
+
+    def test_default_chunk_size(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [{"core": 0,
+                                       "accesses": [[1, 64, False]]}])
+        w = TraceFileWorkload.from_jsonl(path, config)
+        assert w.next_spec(0).n_instructions == \
+            config.chunk_size_instructions
+
+    def test_comments_and_blanks_skipped(self, tmp_path, config):
+        path = tmp_path / "t.jsonl"
+        path.write_text('# header\n\n{"core": 0, "accesses": []}\n')
+        w = TraceFileWorkload.from_jsonl(path, config)
+        assert w.total_chunks == 1
+
+    def test_bad_json_names_line(self, tmp_path, config):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"core": 0, "accesses": []}\nnot json\n')
+        with pytest.raises(TraceFormatError, match=":2:"):
+            TraceFileWorkload.from_jsonl(path, config)
+
+    def test_core_out_of_range(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [{"core": 9, "accesses": []}])
+        with pytest.raises(TraceFormatError, match="core"):
+            TraceFileWorkload.from_jsonl(path, config)
+
+    def test_malformed_access(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [{"core": 0, "accesses": [[1, 2]]}])
+        with pytest.raises(TraceFormatError, match="access #0"):
+            TraceFileWorkload.from_jsonl(path, config)
+
+    def test_oversized_chunk_rejected(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [
+            {"core": 0, "instructions": 2,
+             "accesses": [[1, 0, False], [1, 32, False]]}])
+        with pytest.raises(TraceFormatError):
+            TraceFileWorkload.from_jsonl(path, config)
+
+
+class TestTextLoading:
+    def test_basic_text(self, config):
+        text = io.StringIO("0 r 0x1000\n0 w 0x2000\n\n1 r 0x1000\n")
+        w = TraceFileWorkload.from_text(text, config)
+        assert w.total_chunks == 2
+        spec = w.next_spec(0)
+        assert spec.accesses[0].byte_addr == 0x1000
+        assert spec.accesses[1].is_write
+
+    def test_blank_line_splits_chunks(self, config):
+        text = io.StringIO("0 r 0x1000\n\n0 r 0x2000\n")
+        w = TraceFileWorkload.from_text(text, config)
+        assert len(w._chunks[0]) == 2
+
+    def test_bad_line_reported(self, config):
+        text = io.StringIO("0 r\n")
+        with pytest.raises(TraceFormatError, match=":1:"):
+            TraceFileWorkload.from_text(text, config)
+
+    def test_bad_rw_flag(self, config):
+        text = io.StringIO("0 x 0x1000\n")
+        with pytest.raises(TraceFormatError):
+            TraceFileWorkload.from_text(text, config)
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self, tmp_path, config):
+        chunks = {0: [ChunkSpec(100, [ChunkAccess(1, 64, True)])],
+                  2: [ChunkSpec(50, [ChunkAccess(0, 128, False)])]}
+        path = tmp_path / "out.jsonl"
+        TraceFileWorkload.dump_jsonl(chunks, path)
+        w = TraceFileWorkload.from_jsonl(path, config)
+        assert w.total_chunks == 2
+        assert w.next_spec(0).accesses == chunks[0][0].accesses
+        assert w.next_spec(2).n_instructions == 50
+
+
+class TestSimulationFromTrace:
+    def test_machine_runs_trace(self, tmp_path, config):
+        path = write_jsonl(tmp_path, [
+            {"core": c, "instructions": 200,
+             "accesses": [[1, 4096 * (c + 1) + 32 * i, i % 2 == 0]
+                          for i in range(5)]}
+            for c in range(4) for _ in range(2)
+        ])
+        w = TraceFileWorkload.from_jsonl(path, config)
+        machine = Machine(config, workload=w)
+        machine.run()
+        assert sum(c.stats.chunks_committed for c in machine.cores) == 8
+
+    def test_trace_with_conflicts(self, tmp_path, config):
+        shared = 4096 * 100
+        path = write_jsonl(tmp_path, [
+            {"core": c, "instructions": 300,
+             "accesses": [[1, shared, True], [1, shared + 64, False]]}
+            for c in (0, 1) for _ in range(3)
+        ])
+        w = TraceFileWorkload.from_jsonl(path, config)
+        machine = Machine(config, workload=w)
+        machine.run()
+        assert sum(c.stats.chunks_committed for c in machine.cores) == 6

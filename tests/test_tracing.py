@@ -1,0 +1,101 @@
+"""Tests for the chunk-lifecycle tracer."""
+
+import json
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+from repro.tracing import attach_tracer
+
+
+def traced_machine(specs_by_core, **kw):
+    config = SystemConfig(n_cores=4, seed=3,
+                          protocol=ProtocolKind.SCALABLEBULK, **kw)
+    remaining = {c: list(s) for c, s in specs_by_core.items()}
+
+    def next_spec(core_id):
+        lst = remaining.get(core_id)
+        return lst.pop(0) if lst else None
+
+    machine = Machine(config, next_spec=next_spec)
+    tracer = attach_tracer(machine)
+    return machine, tracer
+
+
+def simple_specs(n=2, base=32 * 128 * 50):
+    return [ChunkSpec(150, [ChunkAccess(1, base + 32 * i, True)])
+            for i in range(n)]
+
+
+class TestLifecycleEvents:
+    def test_full_lifecycle_recorded(self):
+        machine, tracer = traced_machine({0: simple_specs(1)})
+        machine.run()
+        kinds = [e.kind for e in tracer.events if e.core == 0]
+        for expected in ("exec_start", "exec_done", "commit_request",
+                         "group_formed", "commit_success"):
+            assert expected in kinds, expected
+
+    def test_event_order_sane(self):
+        machine, tracer = traced_machine({0: simple_specs(1)})
+        machine.run()
+        events = tracer.for_tag("P0.c0.g0")
+        times = {e.kind: e.time for e in events}
+        assert times["exec_start"] <= times["exec_done"]
+        assert times["exec_done"] <= times["commit_request"]
+        assert times["commit_request"] <= times["commit_success"]
+
+    def test_squash_recorded_with_reason(self):
+        line = 32 * 128 * 80
+        specs = lambda: [ChunkSpec(200, [ChunkAccess(1, line, True)])
+                         for _ in range(3)]
+        machine, tracer = traced_machine({0: specs(), 1: specs()})
+        machine.run()
+        squashes = tracer.of_kind("squash")
+        if squashes:  # conflicts are timing-dependent
+            assert all(e.detail in ("conflict", "alias") for e in squashes)
+
+    def test_commit_counts_match_stats(self):
+        machine, tracer = traced_machine({0: simple_specs(3),
+                                          1: simple_specs(2, base=32 * 128 * 90)})
+        machine.run()
+        committed = sum(c.stats.chunks_committed for c in machine.cores)
+        assert len(tracer.of_kind("commit_success")) == committed
+
+
+class TestQueriesAndExport:
+    def test_timeline_render(self):
+        machine, tracer = traced_machine({0: simple_specs(1)})
+        machine.run()
+        text = tracer.timeline("P0.c0.g0")
+        assert "commit_success" in text
+
+    def test_summary_counts(self):
+        machine, tracer = traced_machine({0: simple_specs(2)})
+        machine.run()
+        summary = tracer.summary()
+        assert summary["commit_success"] == 2
+
+    def test_jsonl_dump(self, tmp_path):
+        machine, tracer = traced_machine({0: simple_specs(1)})
+        machine.run()
+        path = tmp_path / "trace.jsonl"
+        n = tracer.dump_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n > 0
+        parsed = json.loads(lines[0])
+        assert {"time", "kind", "core", "tag"} <= set(parsed)
+
+    def test_tracing_does_not_change_results(self):
+        specs = {0: simple_specs(3)}
+        m1, _ = traced_machine({c: list(s) for c, s in specs.items()})
+        m1.run()
+        config = SystemConfig(n_cores=4, seed=3,
+                              protocol=ProtocolKind.SCALABLEBULK)
+        remaining = {c: list(s) for c, s in specs.items()}
+        m2 = Machine(config, next_spec=lambda c: (
+            remaining.get(c).pop(0) if remaining.get(c) else None))
+        m2.run()
+        assert m1.sim.now == m2.sim.now

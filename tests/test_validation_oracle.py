@@ -1,0 +1,80 @@
+"""Runs the invalidation-completeness oracle over conflict-heavy machines."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+from repro.validation import attach_oracle
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import get_profile
+
+
+def run_with_oracle(app: str, seed: int, n_cores: int = 4, chunks: int = 2):
+    config = SystemConfig(n_cores=n_cores, seed=seed,
+                          protocol=ProtocolKind.SCALABLEBULK)
+    workload = SyntheticWorkload(get_profile(app), config,
+                                 active_cores=n_cores,
+                                 chunks_per_partition=chunks)
+    machine = Machine(config, workload=workload)
+    oracle = attach_oracle(machine)
+    machine.run()
+    return machine, oracle
+
+
+class TestOracleOnWorkloads:
+    @pytest.mark.parametrize("app", ["Radix", "Barnes", "Canneal", "LU"])
+    def test_invalidation_completeness(self, app):
+        machine, oracle = run_with_oracle(app, seed=31)
+        assert oracle.commits_checked > 0
+        oracle.assert_clean()
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_seeds_clean(self, seed):
+        machine, oracle = run_with_oracle("Barnes", seed=seed, chunks=1)
+        oracle.assert_clean()
+
+
+class TestOracleOnHandmadeConflicts:
+    def test_ww_storm_is_clean(self):
+        config = SystemConfig(n_cores=4, seed=2,
+                              protocol=ProtocolKind.SCALABLEBULK)
+        line = 32 * 128 * 500
+        mk = lambda: [ChunkSpec(250, [ChunkAccess(1, line, True)])
+                      for _ in range(4)]
+        remaining = {c: mk() for c in range(4)}
+
+        def next_spec(core_id):
+            lst = remaining.get(core_id)
+            return lst.pop(0) if lst else None
+
+        machine = Machine(config, next_spec=next_spec)
+        oracle = attach_oracle(machine)
+        machine.run()
+        assert oracle.commits_checked == 16
+        oracle.assert_clean()
+
+    def test_oracle_detects_injected_hole(self):
+        """Sanity: the oracle is not vacuous — a manufactured hole trips it."""
+        config = SystemConfig(n_cores=4, seed=2,
+                              protocol=ProtocolKind.SCALABLEBULK)
+        line = 32 * 128 * 600
+        mk = lambda: [ChunkSpec(250, [ChunkAccess(1, line, True),
+                                      ChunkAccess(1, line + 32, False)])
+                      for _ in range(3)]
+        remaining = {0: mk(), 1: mk()}
+
+        def next_spec(core_id):
+            lst = remaining.get(core_id)
+            return lst.pop(0) if lst else None
+
+        machine = Machine(config, next_spec=next_spec)
+        oracle = attach_oracle(machine)
+        # sabotage: make every directory forget its sharers at expansion
+        for d in machine.directories:
+            d.sharers_to_invalidate = lambda lines, writer: set()
+        machine.run(max_events=5_000_000)
+        assert oracle.violations, "oracle failed to notice missing sharers"
