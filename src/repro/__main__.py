@@ -6,11 +6,13 @@ run        simulate one application under one protocol and print stats
 compare    run all four protocols on one application side by side
 apps       list the modelled applications and their key parameters
 sweep      full experiment matrix (delegates to repro.harness.sweep)
+lint       protocol linter + determinism static analysis (repro.analysis)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -68,6 +70,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of sweep's own flags work
         from repro.harness import sweep
         return sweep.main(argv[1:])
+    if argv and argv[0] == "lint":
+        # delegate untouched so all of lint's own flags work
+        from repro.analysis import cli as lint_cli
+        return lint_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -91,10 +97,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     sub.add_parser("sweep", help="full experiment matrix "
                                  "(see python -m repro.harness.sweep -h)")
+    sub.add_parser("lint", help="protocol linter + determinism analysis "
+                                "(see python -m repro lint -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        rc = main()
+    except BrokenPipeError:
+        # the consumer closed the pipe early (e.g. ``... | head``); detach
+        # stdout so the interpreter shutdown does not print a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        rc = 0
+    sys.exit(rc)

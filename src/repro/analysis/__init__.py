@@ -1,0 +1,34 @@
+"""Static analysis for the reproduction: protocol linter + determinism lint.
+
+Three passes, each usable as a library, via ``python -m repro lint``, and
+as a pytest tier (``tests/test_analysis_*.py``):
+
+1. **Handler-coverage linter** (:mod:`repro.analysis.handler_lint`) —
+   recovers the message dispatch tables and send sites from the AST and
+   reports unhandled (role, message) pairs, dead handlers, silent state
+   mutations and orphan message types (SB001-SB004).
+2. **Group-order model checker** (:mod:`repro.analysis.group_check`) —
+   exhaustively verifies Section 3.2's deadlock/livelock-freedom
+   conditions over all small configurations (SB201-SB204).
+3. **Determinism lint** (:mod:`repro.analysis.determinism`) — flags
+   nondeterminism sources that would break reproducible runs
+   (SB301-SB304).
+
+Rule codes are documented in ``docs/analysis.md``; accepted findings live
+in ``lint-baseline.txt`` at the repo root.
+"""
+
+from repro.analysis.determinism import lint_determinism, lint_source
+from repro.analysis.findings import Baseline, Finding, RULES
+from repro.analysis.group_check import check_group_order
+from repro.analysis.handler_lint import lint_handlers
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "RULES",
+    "check_group_order",
+    "lint_determinism",
+    "lint_handlers",
+    "lint_source",
+]

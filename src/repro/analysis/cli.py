@@ -1,0 +1,98 @@
+"""``python -m repro lint``: run all three analysis passes and gate on them.
+
+Exit status is 0 when every finding is either fixed or recorded in the
+baseline file, non-zero otherwise — so CI can fail PRs that introduce new
+``SB***`` findings while the pre-existing, justified ones stay suppressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.determinism import lint_determinism
+from repro.analysis.findings import Baseline, Finding, RULES, repo_paths
+from repro.analysis.group_check import check_group_order
+from repro.analysis.handler_lint import lint_handlers
+
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+
+def run_all(pkg_dir: Optional[Path] = None, max_dirs: int = 4
+            ) -> List[Finding]:
+    """All three passes over the installed ``repro`` package."""
+    findings: List[Finding] = []
+    findings.extend(lint_handlers(pkg_dir))
+    findings.extend(check_group_order(max_dirs=max_dirs))
+    findings.extend(lint_determinism(pkg_dir))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="protocol linter + determinism/race static analysis")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"suppression file (default: "
+                             f"<repo>/{DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, suppressing nothing")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule-code prefixes, e.g. "
+                             "'SB3' or 'SB001,SB2'")
+    parser.add_argument("--max-dirs", type=int, default=4,
+                        help="model-checker configuration bound (default 4; "
+                             "CI uses 5)")
+    parser.add_argument("--explain", action="store_true",
+                        help="list the rule codes and exit")
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        for code, (title, why) in sorted(RULES.items()):
+            print(f"{code}  {title}\n       {why}")
+        return 0
+
+    pkg_dir, repo_root = repo_paths()
+    baseline_path = args.baseline or repo_root / DEFAULT_BASELINE
+
+    findings = run_all(pkg_dir, max_dirs=args.max_dirs)
+    if args.rules:
+        prefixes = tuple(p.strip() for p in args.rules.split(",") if p.strip())
+        findings = [f for f in findings if f.code.startswith(prefixes)]
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+
+    if args.write_baseline:
+        baseline_path.write_text(Baseline.render(findings))
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = (Baseline() if args.no_baseline
+                else Baseline.load(baseline_path))
+    fresh, suppressed, stale = baseline.split(findings)
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [{"code": f.code, "path": f.path, "line": f.line,
+                          "anchor": f.anchor, "message": f.message,
+                          "why": f.why} for f in fresh],
+            "suppressed": len(suppressed),
+            "stale_baseline_keys": sorted(stale),
+        }, indent=2))
+    else:
+        for f in fresh:
+            print(f.render())
+            print(f"    why: {f.why}")
+        for key in sorted(stale):
+            print(f"warning: stale baseline entry (no longer found): {key}")
+        print(f"repro lint: {len(fresh)} finding(s), "
+              f"{len(suppressed)} suppressed by baseline, "
+              f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}")
+    return 1 if fresh else 0
+
+
+__all__ = ["main", "run_all"]

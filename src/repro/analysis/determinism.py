@@ -1,0 +1,300 @@
+"""Pass 3: determinism lint (rules SB301-SB304).
+
+Walks every module under ``src/repro/`` and flags constructs that make a
+run depend on anything other than (configuration, seed):
+
+* **SB301** iteration over a set (or dict view) that sends messages or
+  schedules events — directly or through a same-class helper — inside the
+  loop body, unless the iterable is wrapped in ``sorted(...)``;
+* **SB302** use of the ``random`` module (or ``numpy.random``) outside
+  ``engine/rng.py``, bypassing the seed-derived stream splitting;
+* **SB303** ``id()`` used as an ordering key (sort keys, comparisons);
+* **SB304** wall-clock reads (``time.time``, ``datetime.now``, …).
+
+Set iteration order depends on hashing; dict iteration is insertion-
+ordered but couples event order to arrival order with no explicit key —
+both are flagged where the order can reach the scheduler, and known-
+benign instances live in the baseline file with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+RNG_MODULE = "engine/rng.py"
+
+_SEND_OR_SCHED = {"schedule", "schedule_at", "unicast", "multicast",
+                  "broadcast"}
+_WALL_CLOCK = {("time", "time"), ("time", "monotonic"),
+               ("time", "perf_counter"), ("time", "process_time"),
+               ("time", "time_ns"), ("time", "monotonic_ns"),
+               ("datetime", "now"), ("datetime", "utcnow"),
+               ("date", "today")}
+_ORDERED_WRAPPERS = {"sorted", "list", "tuple", "min", "max", "sum", "len",
+                     "any", "all", "enumerate"}
+# list()/tuple() preserve the underlying (unordered) order, but by far the
+# most common wrapped form is list(sorted(...)); we look through one level.
+
+
+def _qualname_map(tree: ast.Module) -> Dict[int, str]:
+    """Map every AST node id to its enclosing Class.method qualname."""
+    out: Dict[int, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = prefix
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+            out[id(child)] = name or "<module>"
+            visit(child, name)
+
+    out[id(tree)] = "<module>"
+    visit(tree, "")
+    return out
+
+
+class _ModuleScan(ast.NodeVisitor):
+    """Single-file scan collecting typing facts and per-method summaries."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.set_typed: Set[str] = set()
+        self.dict_typed: Set[str] = set()
+        #: Class -> method -> same-class callees
+        self.calls: Dict[str, Dict[str, Set[str]]] = {}
+        #: Class -> methods that directly send/schedule
+        self.direct: Dict[str, Set[str]] = {}
+        self._collect(tree)
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and node.annotation is not None:
+                text = ast.unparse(node.annotation)
+                target = node.target
+                name = None
+                if isinstance(target, ast.Name):
+                    name = target.id
+                elif (isinstance(target, ast.Attribute)
+                      and isinstance(target.value, ast.Name)
+                      and target.value.id == "self"):
+                    name = target.attr
+                if name:
+                    if "Set" in text or text.startswith("set"):
+                        self.set_typed.add(name)
+                    if "Dict" in text or text.startswith("dict"):
+                        self.dict_typed.add(name)
+        for cnode in tree.body:
+            if not isinstance(cnode, ast.ClassDef):
+                continue
+            calls: Dict[str, Set[str]] = {}
+            direct: Set[str] = set()
+            for item in cnode.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                callees: Set[str] = set()
+                for sub in ast.walk(item):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)):
+                        if sub.func.attr in _SEND_OR_SCHED:
+                            direct.add(item.name)
+                        if (isinstance(sub.func.value, ast.Name)
+                                and sub.func.value.id == "self"):
+                            callees.add(sub.func.attr)
+                calls[item.name] = callees
+            self.calls[cnode.name] = calls
+            self.direct[cnode.name] = direct
+
+    def reaches_scheduler(self, cls: str, method: str) -> bool:
+        calls = self.calls.get(cls, {})
+        direct = self.direct.get(cls, set())
+        seen: Set[str] = set()
+        stack = [method]
+        while stack:
+            m = stack.pop()
+            if m in seen or m not in calls:
+                continue
+            seen.add(m)
+            if m in direct:
+                return True
+            stack.extend(calls[m])
+        return False
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _unordered_kind(expr: ast.AST, scan: _ModuleScan) -> Optional[str]:
+    """'set' / 'dict' if ``expr`` iterates an unordered container."""
+    if isinstance(expr, ast.Call):
+        fname = (expr.func.id if isinstance(expr.func, ast.Name)
+                 else getattr(expr.func, "attr", None))
+        if fname in ("set", "frozenset"):
+            return "set"
+        if fname in ("sorted",):
+            return None
+        if fname in ("list", "tuple") and expr.args:
+            return _unordered_kind(expr.args[0], scan)
+        if fname in ("keys", "values", "items"):
+            return "dict"
+        return None
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_unordered_kind(expr.left, scan)
+                or _unordered_kind(expr.right, scan))
+    name = _terminal_name(expr)
+    if name in scan.set_typed:
+        return "set"
+    if name in scan.dict_typed:
+        return "dict"
+    return None
+
+
+def _loop_reaches_scheduler(loop: ast.For, scan: _ModuleScan,
+                            cls: Optional[str]) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SEND_OR_SCHED:
+                return True
+            if (cls is not None
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and scan.reaches_scheduler(cls, node.func.attr)):
+                return True
+    return False
+
+
+def _id_in_ordering(node: ast.AST) -> bool:
+    """id() used as a sort key or inside an ordering comparison."""
+    if isinstance(node, ast.Call):
+        fname = (node.func.id if isinstance(node.func, ast.Name)
+                 else getattr(node.func, "attr", None))
+        if fname in ("sorted", "min", "max"):
+            for kw in node.keywords:
+                if kw.arg == "key":
+                    for sub in ast.walk(kw.value):
+                        if (isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Name)
+                                and sub.func.id == "id"):
+                            return True
+    if isinstance(node, ast.Compare):
+        ordering = any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                       for op in node.ops)
+        if ordering:
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "id"):
+                    return True
+    return False
+
+
+def lint_source(rel_path: str, source: str,
+                allow_random: bool = False) -> List[Finding]:
+    """Run the determinism rules over one module's source text."""
+    tree = ast.parse(source)
+    qualnames = _qualname_map(tree)
+    scan = _ModuleScan(tree)
+    findings: List[Finding] = []
+
+    def anchor_of(node: ast.AST) -> str:
+        return qualnames.get(id(node), "<module>")
+
+    def cls_of(node: ast.AST) -> Optional[str]:
+        qn = anchor_of(node)
+        if "." in qn:
+            head = qn.split(".")[0]
+            if head in scan.calls:
+                return head
+        return None
+
+    for node in ast.walk(tree):
+        # -- SB301 -------------------------------------------------------
+        if isinstance(node, ast.For):
+            kind = _unordered_kind(node.iter, scan)
+            if kind and _loop_reaches_scheduler(node, scan, cls_of(node)):
+                findings.append(Finding(
+                    code="SB301", path=rel_path, line=node.lineno,
+                    anchor=anchor_of(node),
+                    message=(f"loop over unordered {kind} "
+                             f"`{ast.unparse(node.iter)}` sends/schedules "
+                             f"inside the body; iterate a sorted view")))
+        # -- SB302 -------------------------------------------------------
+        if not allow_random:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(Finding(
+                            code="SB302", path=rel_path, line=node.lineno,
+                            anchor=anchor_of(node),
+                            message="`import random`: use "
+                                    "engine.rng.DeterministicRng"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(Finding(
+                        code="SB302", path=rel_path, line=node.lineno,
+                        anchor=anchor_of(node),
+                        message="`from random import ...`: use "
+                                "engine.rng.DeterministicRng"))
+            elif (isinstance(node, ast.Attribute)
+                  and isinstance(node.value, ast.Attribute)
+                  and _terminal_name(node.value) == "random"
+                  and isinstance(node.value.value, ast.Name)
+                  and node.value.value.id in ("np", "numpy")):
+                findings.append(Finding(
+                    code="SB302", path=rel_path, line=node.lineno,
+                    anchor=anchor_of(node),
+                    message="numpy.random.*: use a seeded Generator via "
+                            "engine.rng"))
+        # -- SB303 -------------------------------------------------------
+        if _id_in_ordering(node):
+            findings.append(Finding(
+                code="SB303", path=rel_path, line=node.lineno,
+                anchor=anchor_of(node),
+                message="id() used for ordering; ids vary run to run"))
+        # -- SB304 -------------------------------------------------------
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            owner = _terminal_name(node.func.value)
+            if (owner, node.func.attr) in _WALL_CLOCK:
+                findings.append(Finding(
+                    code="SB304", path=rel_path, line=node.lineno,
+                    anchor=anchor_of(node),
+                    message=(f"wall-clock read {owner}.{node.func.attr}(); "
+                             f"simulated time must come from sim.now")))
+
+    return findings
+
+
+def lint_determinism(pkg_dir: Optional[Path] = None,
+                     source_overrides: Optional[Dict[str, str]] = None
+                     ) -> List[Finding]:
+    """Run the determinism pass over every module in ``src/repro/``."""
+    if pkg_dir is None:
+        import repro
+        pkg_dir = Path(repro.__file__).resolve().parent
+    findings: List[Finding] = []
+    rels = sorted(f.relative_to(pkg_dir).as_posix()
+                  for f in pkg_dir.rglob("*.py"))
+    if source_overrides:
+        rels = sorted(set(rels) | set(source_overrides))
+    for rel in rels:
+        if source_overrides and rel in source_overrides:
+            source = source_overrides[rel]
+        else:
+            source = (pkg_dir / rel).read_text()
+        findings.extend(lint_source("src/repro/" + rel, source,
+                                    allow_random=(rel == RNG_MODULE)))
+    return findings
+
+
+__all__ = ["lint_determinism", "lint_source"]

@@ -1,0 +1,162 @@
+"""Findings, rule registry and the suppression baseline.
+
+Every analysis pass reports :class:`Finding` objects.  A finding carries a
+rule code (``SB001``…), the file and line it anchors to, a *stable anchor*
+(the enclosing ``Class.method`` qualname, or a symbolic location for model
+-checker findings) and a short explanation of why the pattern is a problem.
+
+Suppression works on the *key* ``"<code> <path>::<anchor>"`` — deliberately
+line-number free, so a baseline entry survives unrelated edits to the file.
+The baseline file (``lint-baseline.txt`` at the repo root) lets the linter
+land before the codebase is fully clean: existing findings are recorded
+there with a justification and only *new* findings fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: rule code -> (title, one-line rationale).  Documented in docs/analysis.md.
+RULES: Dict[str, Tuple[str, str]] = {
+    # -- pass 1: handler-coverage linter --------------------------------
+    "SB001": ("unhandled message",
+              "a message type is sent to this role but no handler branch "
+              "dispatches it; at runtime it raises NotImplementedError "
+              "mid-simulation"),
+    "SB002": ("dead handler",
+              "an _on_* handler method is never referenced by any dispatch "
+              "table nor called by another method; it is unreachable code "
+              "masquerading as protocol surface"),
+    "SB003": ("silent state mutation",
+              "a directory/agent handler mutates module state but neither "
+              "schedules an event nor sends a message, so the state change "
+              "costs zero simulated time and is invisible to the timeline"),
+    "SB004": ("orphan message type",
+              "a message type is declared in network/message.py but never "
+              "put on the wire by any protocol"),
+    # -- pass 2: group-order model checker ------------------------------
+    "SB201": ("traversal order not total",
+              "order_gvec must return a permutation of the group sorted by "
+              "priority rank with the leader first (Section 3.2)"),
+    "SB202": ("priority inversion",
+              "a g message must only flow from higher-priority to lower-"
+              "priority modules (deadlock-freedom argument, Section 3.2)"),
+    "SB203": ("ambiguous collision module",
+              "two colliding groups must agree on a single Collision module "
+              "— the highest-priority common module — or a group can be "
+              "failed at two places (or none)"),
+    "SB204": ("group deadlock",
+              "a reachable hold-and-wait state exists in which no group can "
+              "complete; grab acquisition must follow one global priority "
+              "order"),
+    # -- pass 3: determinism lint ----------------------------------------
+    "SB301": ("unordered iteration reaches scheduler",
+              "iterating a set/dict and scheduling events or sending "
+              "messages inside the loop makes event order depend on hash/"
+              "insertion order instead of an explicit sort key"),
+    "SB302": ("unseeded randomness",
+              "random draws outside engine/rng.py bypass the seed-derived "
+              "stream splitting and break run-to-run reproducibility"),
+    "SB303": ("id()-based ordering",
+              "CPython id() values vary run to run; using them as a sort "
+              "key or in comparisons makes event order non-reproducible"),
+    "SB304": ("wall-clock read",
+              "time.time()/datetime.now() and friends leak host time into "
+              "the simulation, which must depend only on (config, seed)"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One report from an analysis pass."""
+
+    code: str          #: rule code, e.g. "SB001"
+    path: str          #: repo-relative, forward-slash path
+    line: int          #: 1-based line (0 for whole-file/model findings)
+    anchor: str        #: stable location key (qualname or symbolic)
+    message: str       #: what is wrong, specifically
+
+    @property
+    def why(self) -> str:
+        return RULES.get(self.code, ("", "unknown rule"))[1]
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for suppression."""
+        return f"{self.code} {self.path}::{self.anchor}"
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        title = RULES.get(self.code, ("?",))[0]
+        return f"{loc}: {self.code} [{title}] {self.message}"
+
+
+class Baseline:
+    """The suppression file: one ``<code> <path>::<anchor>`` key per line.
+
+    Anything after the key on a line is a free-form justification.  Lines
+    starting with ``#`` and blank lines are ignored.
+    """
+
+    def __init__(self, keys: Optional[Set[str]] = None) -> None:
+        self.keys: Set[str] = set(keys or ())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        keys = set()
+        for raw in path.read_text().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) >= 2:
+                keys.add(f"{parts[0]} {parts[1]}")
+        return cls(keys)
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding], Set[str]]:
+        """Partition into (fresh, suppressed) and report stale keys."""
+        fresh, suppressed = [], []
+        seen: Set[str] = set()
+        for f in findings:
+            seen.add(f.key)
+            (suppressed if f.key in self.keys else fresh).append(f)
+        stale = self.keys - seen
+        return fresh, suppressed, stale
+
+    @staticmethod
+    def render(findings: Iterable[Finding]) -> str:
+        """Serialize findings as a fresh baseline file body."""
+        lines = [
+            "# lint-baseline.txt — accepted findings of `python -m repro lint`.",
+            "# One `<code> <path>::<anchor>` key per line; the rest of the",
+            "# line is a justification.  Regenerate with",
+            "# `python -m repro lint --write-baseline`.",
+            "",
+        ]
+        for f in sorted(set(findings), key=lambda f: f.key):
+            lines.append(f.key)
+        return "\n".join(lines) + "\n"
+
+
+def repo_paths() -> Tuple[Path, Path]:
+    """(package dir of ``repro``, repo root guess).
+
+    The repo root is the parent of the ``src`` directory when the package
+    is run from a checkout; otherwise the package dir's grandparent.
+    """
+    import repro
+    pkg = Path(repro.__file__).resolve().parent
+    return pkg, pkg.parent.parent
+
+
+def rel_path(pkg_dir: Path, file: Path) -> str:
+    """Stable repo-relative path ``src/repro/...`` for a package file."""
+    return "src/repro/" + file.resolve().relative_to(pkg_dir).as_posix()
+
+
+__all__ = ["Baseline", "Finding", "RULES", "rel_path", "repo_paths"]

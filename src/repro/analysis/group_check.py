@@ -1,0 +1,204 @@
+"""Pass 2: group-order model checker (rules SB201-SB204).
+
+Exhaustively enumerates every small configuration — up to ``max_dirs``
+directory modules, every non-empty group subset, every rotation offset —
+and checks the Section 3.2 deadlock/livelock-freedom conditions against
+the actual ``core/group.py`` helpers:
+
+* **SB201** the traversal order is a permutation of the group, sorted by
+  priority rank with the leader (minimum rank) first;
+* **SB202** ``g`` only flows toward lower priority along the successor
+  chain, wrapping from the last member back to the leader, and ``is_last``
+  is an honest ``bool`` that is true exactly at the last member;
+* **SB203** every pair of colliding groups agrees on a unique Collision
+  module: the highest-priority common module, identical from both sides;
+* **SB204** no reachable hold-and-wait state deadlocks: enumerating the
+  prefix-acquisition states of two (and, for small n, three) concurrent
+  groups, some group can always take its next module or finish.
+
+The check functions are injectable so tests can hand in a *broken*
+synthetic group table (e.g. a priority-inverting successor) and watch the
+checker catch it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.core import group as group_mod
+
+GROUP_PATH = "src/repro/core/group.py"
+
+OrderFn = Callable[[Iterable[int], int, int], Tuple[int, ...]]
+SuccessorFn = Callable[[Sequence[int], int], int]
+CollisionFn = Callable[[Sequence[int], Iterable[int]], Optional[int]]
+
+
+def _subsets(n: int) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = []
+    for size in range(1, n + 1):
+        out.extend(combinations(range(n), size))
+    return out
+
+
+def _deadlocked(orders: Sequence[Sequence[int]]) -> Optional[str]:
+    """Search the prefix-acquisition state space for a stuck state.
+
+    Each group holds a prefix of its traversal order; a state is feasible
+    when no module is held twice.  A state deadlocks when *every* group
+    still has modules to acquire and each one's next module is held by
+    another group.  (A group holding its full order has formed: it commits
+    and releases, so such states always make progress.)  Returns a
+    description of the first deadlocked state, or None.
+    """
+    ranges = [range(len(o) + 1) for o in orders]
+    for prefix_lens in product(*ranges):
+        held = {}
+        feasible = True
+        for g, plen in enumerate(prefix_lens):
+            for m in orders[g][:plen]:
+                if m in held:
+                    feasible = False
+                    break
+                held[m] = g
+            if not feasible:
+                break
+        if not feasible:
+            continue
+        unfinished = [g for g, plen in enumerate(prefix_lens)
+                      if plen < len(orders[g])]
+        if len(unfinished) != len(orders):
+            continue  # some group formed fully; it commits and releases
+        if all(orders[g][prefix_lens[g]] in held
+               and held[orders[g][prefix_lens[g]]] != g
+               for g in unfinished):
+            state = ", ".join(
+                f"G{g}{tuple(orders[g])} holds {list(orders[g][:prefix_lens[g]])}"
+                for g in range(len(orders)))
+            return state
+    return None
+
+
+def check_group_order(max_dirs: int = 5,
+                      order_fn: Optional[OrderFn] = None,
+                      successor_fn: Optional[SuccessorFn] = None,
+                      collision_fn: Optional[CollisionFn] = None,
+                      is_last_fn=None,
+                      leader_fn=None,
+                      rank_fn=None,
+                      check_triples_up_to: int = 4) -> List[Finding]:
+    """Model-check the group table over all configurations up to max_dirs."""
+    order_fn = order_fn or group_mod.order_gvec
+    successor_fn = successor_fn or group_mod.successor
+    collision_fn = collision_fn or group_mod.collision_module
+    is_last_fn = is_last_fn or group_mod.is_last
+    leader_fn = leader_fn or group_mod.leader_of
+    rank_fn = rank_fn or group_mod.priority_rank
+
+    findings: List[Finding] = []
+
+    def report(code: str, anchor: str, message: str) -> None:
+        findings.append(Finding(code=code, path=GROUP_PATH, line=0,
+                                anchor=anchor, message=message))
+
+    # The degenerate probe first: is_last on an empty order must be the
+    # honest bool False, not a falsy sequence (the historical bug here).
+    empty_probe = is_last_fn((), 0)
+    if empty_probe is not False:
+        report("SB202", "empty-order/is_last",
+               f"is_last((), 0) returned {empty_probe!r} "
+               f"({type(empty_probe).__name__}); must be the bool False")
+
+    for n in range(1, max_dirs + 1):
+        subsets = _subsets(n)
+        for offset in range(n):
+            orders = {}
+            for dirs in subsets:
+                order = tuple(order_fn(dirs, n, offset))
+                orders[dirs] = order
+                where = f"n={n}/off={offset}/{dirs}"
+
+                # --- SB201: total order / permutation / leader-first ----
+                if sorted(order) != sorted(set(dirs)):
+                    report("SB201", where,
+                           f"order {order} is not a permutation of {dirs}")
+                    continue
+                ranks = [rank_fn(d, n, offset) for d in order]
+                if ranks != sorted(ranks) or len(set(ranks)) != len(ranks):
+                    report("SB201", where,
+                           f"order {order} not strictly sorted by priority "
+                           f"rank (ranks {ranks})")
+                if order and leader_fn(order) != order[0]:
+                    report("SB201", where,
+                           f"leader {leader_fn(order)} is not the first "
+                           f"module of {order}")
+
+                # --- SB202: g flows toward lower priority ---------------
+                for i, d in enumerate(order):
+                    nxt = successor_fn(order, d)
+                    last = is_last_fn(order, d)
+                    if not isinstance(last, bool):
+                        report("SB202", where,
+                               f"is_last({order}, {d}) returned "
+                               f"{type(last).__name__}, not bool")
+                    if i + 1 < len(order):
+                        if last:
+                            report("SB202", where,
+                                   f"is_last true at non-last member {d}")
+                        if rank_fn(nxt, n, offset) <= rank_fn(d, n, offset):
+                            report("SB202", where,
+                                   f"g flows {d}->{nxt} against priority "
+                                   f"(ranks {rank_fn(d, n, offset)}->"
+                                   f"{rank_fn(nxt, n, offset)})")
+                    else:
+                        if not last:
+                            report("SB202", where,
+                                   f"is_last false at last member {d}")
+                        if nxt != order[0]:
+                            report("SB202", where,
+                                   f"last member {d} forwards g to {nxt}, "
+                                   f"not back to leader {order[0]}")
+                if findings and len(findings) > 200:
+                    return findings  # defect storm: stop early
+
+            # --- SB203: unique collision module ------------------------
+            for a, b in combinations(subsets, 2):
+                common = set(a) & set(b)
+                if not common:
+                    continue
+                where = f"n={n}/off={offset}/{a}x{b}"
+                expected = min(common, key=lambda d: rank_fn(d, n, offset))
+                from_a = collision_fn(orders[a], b)
+                from_b = collision_fn(orders[b], a)
+                if from_a != expected or from_b != expected:
+                    report("SB203", where,
+                           f"collision module disagrees: loser-A sees "
+                           f"{from_a}, loser-B sees {from_b}, highest-"
+                           f"priority common module is {expected}")
+
+            # --- SB204: deadlock freedom (pairs, then small triples) ----
+            for a, b in combinations(subsets, 2):
+                if not (set(a) & set(b)):
+                    continue
+                stuck = _deadlocked([orders[a], orders[b]])
+                if stuck is not None:
+                    report("SB204", f"n={n}/off={offset}/{a}x{b}",
+                           f"hold-and-wait deadlock: {stuck}")
+            if n <= check_triples_up_to:
+                for a, b, c in combinations(subsets, 3):
+                    if not (set(a) & set(b) or set(b) & set(c)
+                            or set(a) & set(c)):
+                        continue
+                    stuck = _deadlocked([orders[a], orders[b], orders[c]])
+                    if stuck is not None:
+                        report("SB204", f"n={n}/off={offset}/{a}x{b}x{c}",
+                               f"hold-and-wait deadlock: {stuck}")
+        if len(findings) > 200:
+            return findings
+
+    return findings
+
+
+__all__ = ["check_group_order"]

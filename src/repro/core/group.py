@@ -44,7 +44,7 @@ def successor(order: Sequence[int], dir_id: int) -> int:
 
 
 def is_last(order: Sequence[int], dir_id: int) -> bool:
-    return order and order[-1] == dir_id
+    return bool(order) and order[-1] == dir_id
 
 
 def collision_module(loser_order: Sequence[int], winner_dirs: Iterable[int]

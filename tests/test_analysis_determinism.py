@@ -1,0 +1,143 @@
+"""Determinism lint (SB301-SB304): repo clean under baseline, defects caught."""
+
+import textwrap
+
+from repro.analysis import Baseline, lint_determinism, lint_source
+from repro.analysis.findings import repo_paths
+
+
+def run_snippet(code: str):
+    return lint_source("src/repro/_synthetic.py", textwrap.dedent(code))
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestRepoIsClean:
+    def test_no_fresh_findings(self):
+        _, repo_root = repo_paths()
+        baseline = Baseline.load(repo_root / "lint-baseline.txt")
+        fresh, _suppressed, _stale = baseline.split(lint_determinism())
+        fresh = [f for f in fresh if f.code.startswith("SB3")]
+        assert fresh == [], "\n".join(f.render() for f in fresh)
+
+    def test_rng_module_exempt_from_sb302(self):
+        findings = [f for f in lint_determinism()
+                    if f.code == "SB302" and "engine/rng" in f.path]
+        assert findings == []
+
+
+class TestSeededDefects:
+    """Acceptance criterion (c): set iteration feeding the scheduler."""
+
+    def test_set_iteration_into_scheduler_is_sb301(self):
+        findings = run_snippet('''
+            class Directory:
+                def flush(self, pending):
+                    for core in set(pending):
+                        self.sim.schedule(1, lambda: None)
+        ''')
+        assert codes(findings) == {"SB301"}
+        assert "set" in findings[0].message
+
+    def test_annotated_set_attribute_is_sb301(self):
+        findings = run_snippet('''
+            from typing import Set
+
+            class Directory:
+                def __init__(self):
+                    self.waiting: Set[int] = set()
+
+                def kick(self):
+                    for core in self.waiting:
+                        self.network.unicast("x", None, core)
+        ''')
+        assert "SB301" in codes(findings)
+
+    def test_helper_reaching_scheduler_is_sb301(self):
+        """Interprocedural: the send is one self-call away from the loop."""
+        findings = run_snippet('''
+            class Directory:
+                def sweep(self, table):
+                    for entry in table.values():
+                        self._fail(entry)
+
+                def _fail(self, entry):
+                    self.network.multicast("g_failure", None, [])
+        ''')
+        assert "SB301" in codes(findings)
+
+    def test_sorted_iteration_is_clean(self):
+        findings = run_snippet('''
+            class Directory:
+                def flush(self, pending):
+                    for core in sorted(set(pending)):
+                        self.sim.schedule(1, lambda: None)
+        ''')
+        assert findings == []
+
+    def test_loop_without_scheduling_is_clean(self):
+        findings = run_snippet('''
+            def census(cores):
+                total = 0
+                for c in set(cores):
+                    total += 1
+                return total
+        ''')
+        assert findings == []
+
+    def test_import_random_is_sb302(self):
+        findings = run_snippet('''
+            import random
+
+            def jitter():
+                return random.random()
+        ''')
+        assert "SB302" in codes(findings)
+
+    def test_numpy_random_is_sb302(self):
+        findings = run_snippet('''
+            import numpy as np
+
+            def noise():
+                return np.random.rand()
+        ''')
+        assert "SB302" in codes(findings)
+
+    def test_id_sort_key_is_sb303(self):
+        findings = run_snippet('''
+            def stable(chunks):
+                return sorted(chunks, key=lambda c: id(c))
+        ''')
+        assert "SB303" in codes(findings)
+
+    def test_id_membership_is_clean(self):
+        """id() for identity membership (cpu/core.py idiom) is fine."""
+        findings = run_snippet('''
+            def survivors(chunks, victims):
+                dead = {id(c) for c in victims}
+                return [c for c in chunks if id(c) not in dead]
+        ''')
+        assert findings == []
+
+    def test_wall_clock_is_sb304(self):
+        findings = run_snippet('''
+            import time
+
+            def stamp(sim):
+                return time.time() - sim.now
+        ''')
+        assert "SB304" in codes(findings)
+
+
+class TestAnchors:
+    def test_anchor_is_enclosing_qualname(self):
+        findings = run_snippet('''
+            import time
+
+            class Harness:
+                def run(self):
+                    return time.perf_counter()
+        ''')
+        assert findings[0].anchor == "Harness.run"

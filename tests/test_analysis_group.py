@@ -1,0 +1,76 @@
+"""Group-order model checker (SB201-SB204): real table clean, broken tables caught."""
+
+from repro.analysis import check_group_order
+from repro.core.group import order_gvec, priority_rank, successor
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestRealTableIsClean:
+    def test_full_bound_clean(self):
+        findings = check_group_order(max_dirs=5)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_single_module_groups(self):
+        assert check_group_order(max_dirs=1) == []
+
+
+class TestSeededDefects:
+    """Acceptance criterion (b): a priority-order inversion is caught."""
+
+    def test_inverted_successor_is_sb202(self):
+        def backwards(order, dir_id):
+            idx = order.index(dir_id)
+            return order[(idx - 1) % len(order)]
+
+        findings = check_group_order(max_dirs=3, successor_fn=backwards)
+        assert "SB202" in codes(findings)
+        assert any("against priority" in f.message for f in findings)
+
+    def test_reversed_order_is_sb201(self):
+        def reverse_order(dirs, n, offset=0):
+            return tuple(sorted(set(dirs),
+                                key=lambda d: -priority_rank(d, n, offset)))
+
+        findings = check_group_order(max_dirs=3, order_fn=reverse_order)
+        assert "SB201" in codes(findings)
+
+    def test_wrong_collision_module_is_sb203(self):
+        def last_common(loser_order, winner_dirs):
+            winner = set(winner_dirs)
+            common = [d for d in loser_order if d in winner]
+            return common[-1] if common else None
+
+        findings = check_group_order(max_dirs=3, collision_fn=last_common)
+        assert "SB203" in codes(findings)
+
+    def test_inconsistent_orders_deadlock_is_sb204(self):
+        """Groups acquiring in *different* global orders can deadlock."""
+        def split_brain(dirs, n, offset=0):
+            dirs = sorted(set(dirs))
+            # even-led groups climb, odd-led groups descend: the classic
+            # lock-ordering bug
+            return tuple(dirs if dirs[0] % 2 == 0 else reversed(dirs))
+
+        findings = check_group_order(max_dirs=3, order_fn=split_brain)
+        assert "SB204" in codes(findings)
+        assert any("hold-and-wait deadlock" in f.message for f in findings)
+
+    def test_truthy_non_bool_is_last_is_sb202(self):
+        """The exact bug fixed in core/group.py: returning the sequence."""
+        def sloppy_is_last(order, dir_id):
+            return order and order[-1] == dir_id  # () instead of False
+
+        findings = check_group_order(max_dirs=2, is_last_fn=sloppy_is_last)
+        assert any(f.code == "SB202" and f.anchor == "empty-order/is_last"
+                   for f in findings)
+
+
+class TestInjectability:
+    def test_default_functions_are_the_real_ones(self):
+        """Guard: the checker checks core/group.py, not private copies."""
+        findings = check_group_order(
+            max_dirs=3, order_fn=order_gvec, successor_fn=successor)
+        assert findings == []

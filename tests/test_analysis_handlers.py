@@ -1,0 +1,108 @@
+"""Handler-coverage linter (SB001-SB004): repo is clean, seeded defects caught."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import Baseline, lint_handlers
+from repro.analysis.findings import repo_paths
+
+PKG = Path(repro.__file__).resolve().parent
+DIR_ENGINE = "core/directory_engine.py"
+
+
+def load_baseline() -> Baseline:
+    _, repo_root = repo_paths()
+    return Baseline.load(repo_root / "lint-baseline.txt")
+
+
+class TestRepoIsClean:
+    def test_no_fresh_findings(self):
+        fresh, _suppressed, _stale = load_baseline().split(lint_handlers())
+        assert fresh == [], "\n".join(f.render() for f in fresh)
+
+    def test_every_scalablebulk_table1_type_flows(self):
+        """Sanity: the pass actually sees the Table 1 conversation."""
+        findings = lint_handlers()
+        # COMMIT_RECALL is piggy-backed by design and BSC_DONE is folded
+        # into BSC_DIR_DONE; nothing else may be orphaned.
+        orphans = {f.anchor for f in findings if f.code == "SB004"}
+        assert orphans <= {"MessageType.COMMIT_RECALL",
+                           "MessageType.BSC_DONE"}
+
+
+class TestSeededDefects:
+    """Acceptance criterion (a): a removed message handler is caught."""
+
+    def test_removed_handler_branch_is_sb001(self):
+        source = (PKG / DIR_ENGINE).read_text()
+        branch = ("        elif mtype is MessageType.G_FAILURE:\n"
+                  "            self._on_g_failure(msg)\n")
+        assert branch in source, "dispatch idiom changed; update this test"
+        findings = lint_handlers(
+            source_overrides={DIR_ENGINE: source.replace(branch, "")})
+        sb001 = [f for f in findings if f.code == "SB001"
+                 and "G_FAILURE" in f.anchor]
+        assert sb001, "removing the g_failure handler went unnoticed"
+        assert any("scalablebulk" in f.anchor and "dir" in f.anchor
+                   for f in sb001)
+
+    def test_orphaned_handler_method_is_sb002(self):
+        source = (PKG / DIR_ENGINE).read_text()
+        branch = ("        elif mtype is MessageType.G_FAILURE:\n"
+                  "            self._on_g_failure(msg)\n")
+        findings = lint_handlers(
+            source_overrides={DIR_ENGINE: source.replace(branch, "")})
+        assert any(f.code == "SB002"
+                   and f.anchor == "ScalableBulkDirectory._on_g_failure"
+                   for f in findings), "the now-dead handler was not flagged"
+
+    def test_silent_mutation_is_sb003(self):
+        doctored = '''
+from repro.network.message import Message, MessageType
+
+
+class SilentDirectory:
+    def __init__(self):
+        self.cst = {}
+
+    def handle_protocol_message(self, msg: Message) -> None:
+        if msg.mtype is MessageType.COMMIT_DONE:
+            self._on_commit_done(msg)
+
+    def _on_commit_done(self, msg):
+        self.cst.pop(msg.ctag, None)
+        self.count = 1
+'''
+        findings = lint_handlers(
+            source_overrides={DIR_ENGINE: doctored})
+        assert any(f.code == "SB003"
+                   and f.anchor == "SilentDirectory._on_commit_done"
+                   for f in findings)
+
+    def test_orphan_message_type_is_sb004(self):
+        decl = (PKG / "network/message.py").read_text()
+        doctored = decl.replace(
+            'COMMIT_RECALL = "commit_recall"',
+            'COMMIT_RECALL = "commit_recall"\n'
+            '    GHOST_MSG = "ghost_msg"')
+        findings = lint_handlers(
+            source_overrides={"network/message.py": doctored})
+        assert any(f.code == "SB004" and f.anchor == "MessageType.GHOST_MSG"
+                   for f in findings)
+
+
+class TestFindingMechanics:
+    def test_keys_are_line_number_free(self):
+        for f in lint_handlers():
+            assert ":" not in f.key.split("::")[0].split(" ")[1].replace(
+                "src/repro", ""), f.key
+            assert f.key.startswith(f.code)
+
+    def test_render_mentions_rule_and_location(self):
+        findings = lint_handlers()
+        if not findings:
+            pytest.skip("repo fully clean")
+        text = findings[0].render()
+        assert findings[0].code in text and findings[0].path in text

@@ -77,3 +77,25 @@ class TestCollisionModule:
         assert collision_module(g1, set(g0)) == 2
         # G1 vs G2={6,7}: collision at 7
         assert collision_module(g1, {6, 7}) == 7
+
+
+class TestIsLast:
+    """is_last must return an honest bool (it used to return the falsy
+    sequence itself for empty orders — the first bug the mypy gate and
+    the SB202 model-checker probe catch)."""
+
+    def test_true_at_last_member(self):
+        assert is_last((1, 2, 5), 5) is True
+
+    def test_false_elsewhere(self):
+        assert is_last((1, 2, 5), 1) is False
+        assert is_last((1, 2, 5), 2) is False
+        assert is_last((1, 2, 5), 7) is False
+
+    def test_empty_order_returns_bool_false(self):
+        result = is_last((), 3)
+        assert result is False
+        assert isinstance(result, bool)
+
+    def test_singleton_group(self):
+        assert is_last((4,), 4) is True

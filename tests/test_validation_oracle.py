@@ -78,3 +78,104 @@ class TestOracleOnHandmadeConflicts:
             d.sharers_to_invalidate = lambda lines, writer: set()
         machine.run(max_events=5_000_000)
         assert oracle.violations, "oracle failed to notice missing sharers"
+
+
+class TestOracleDirectly:
+    """Direct unit tests for InvalidationOracle (satellite: previously the
+    oracle was only exercised through full workload runs)."""
+
+    @staticmethod
+    def _stub_machine(chunks_by_core):
+        """A machine double: just directories/cores/sim.now."""
+        from types import SimpleNamespace
+
+        cores = [SimpleNamespace(core_id=cid,
+                                 active_chunks=lambda lst=lst: list(lst))
+                 for cid, lst in chunks_by_core.items()]
+        return SimpleNamespace(directories=[], cores=cores,
+                               sim=SimpleNamespace(now=123))
+
+    @staticmethod
+    def _stub_entry(proc, write_lines, inval_acc, local_sharers=()):
+        from types import SimpleNamespace
+        return SimpleNamespace(cid=(("t", proc, 0), 0), proc=proc,
+                               write_lines=set(write_lines),
+                               inval_acc=set(inval_acc),
+                               local_sharers=set(local_sharers))
+
+    @staticmethod
+    def _stub_chunk(tag, read_lines, write_lines):
+        from types import SimpleNamespace
+        return SimpleNamespace(tag=tag, read_lines=set(read_lines),
+                               write_lines=set(write_lines))
+
+    def test_complete_inval_vector_is_clean(self):
+        from repro.validation.oracle import InvalidationOracle
+
+        victim = self._stub_chunk("c1", {100}, set())
+        machine = self._stub_machine({0: [], 1: [victim]})
+        oracle = InvalidationOracle(machine)
+        oracle._check(self._stub_entry(proc=0, write_lines={100},
+                                       inval_acc={1}))
+        assert oracle.violations == []
+        oracle.assert_clean()
+
+    def test_dropped_invalidation_is_a_violation(self):
+        from repro.validation.oracle import InvalidationOracle
+
+        victim = self._stub_chunk("c1", {100}, set())
+        machine = self._stub_machine({0: [], 1: [victim]})
+        oracle = InvalidationOracle(machine)
+        # the committing entry overlaps core 1's read set but the
+        # accumulated inval_vec forgot core 1 entirely
+        oracle._check(self._stub_entry(proc=0, write_lines={100},
+                                       inval_acc=set()))
+        assert len(oracle.violations) == 1
+        v = oracle.violations[0]
+        assert v.missed_core == 1 and v.writer == 0
+        assert v.conflict_lines == {100}
+        assert "missed conflicting chunk" in str(v)
+        with pytest.raises(AssertionError, match="invalidation-completeness"):
+            oracle.assert_clean()
+
+    def test_local_sharers_count_as_covered(self):
+        from repro.validation.oracle import InvalidationOracle
+
+        victim = self._stub_chunk("c1", set(), {100})
+        machine = self._stub_machine({0: [], 2: [victim]})
+        oracle = InvalidationOracle(machine)
+        oracle._check(self._stub_entry(proc=0, write_lines={100},
+                                       inval_acc=set(), local_sharers={2}))
+        assert oracle.violations == []
+
+    def test_broken_directory_dropping_invalidations_caught_live(self):
+        """End to end: a directory that clears its invalidation vector at
+        confirm time loses serializability and the oracle sees it."""
+        config = SystemConfig(n_cores=4, seed=5,
+                              protocol=ProtocolKind.SCALABLEBULK)
+        line = 32 * 128 * 700
+        mk = lambda: [ChunkSpec(250, [ChunkAccess(1, line, True),
+                                      ChunkAccess(1, line + 32, False)])
+                      for _ in range(3)]
+        remaining = {0: mk(), 1: mk()}
+
+        def next_spec(core_id):
+            lst = remaining.get(core_id)
+            return lst.pop(0) if lst else None
+
+        machine = Machine(config, next_spec=next_spec)
+        oracle = attach_oracle(machine)
+        # sabotage AFTER the oracle attaches: drop every pending
+        # invalidation just before the (wrapped) confirmation runs, so the
+        # oracle audits exactly what the broken directory acts on
+        for d in machine.directories:
+            wrapped = d._confirm_group
+
+            def dropping(entry, _wrapped=wrapped):
+                entry.inval_acc.clear()
+                entry.local_sharers.clear()
+                _wrapped(entry)
+
+            d._confirm_group = dropping
+        machine.run(max_events=5_000_000)
+        assert oracle.violations, "dropped invalidations went unnoticed"
