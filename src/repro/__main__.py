@@ -7,6 +7,7 @@ compare    run all four protocols on one application side by side
 apps       list the modelled applications and their key parameters
 sweep      full experiment matrix (delegates to repro.harness.sweep)
 lint       protocol linter + determinism static analysis (repro.analysis)
+explore    schedule-exploration model checker (repro.analysis.explore)
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ PROTO_BY_NAME = {p.value.lower(): p for p in ProtocolKind}
 def _cmd_run(args) -> int:
     result = run_app(args.app, n_cores=args.cores,
                      protocol=PROTO_BY_NAME[args.protocol.lower()],
-                     chunks_per_partition=args.chunks)
+                     chunks_per_partition=args.chunks, oracle=args.oracle)
     print(f"{args.app} on {args.cores} cores "
           f"({result.protocol.value}): {result.total_cycles:,} cycles, "
           f"{result.chunks_committed} chunks")
@@ -44,7 +45,7 @@ def _cmd_compare(args) -> int:
           f"{'commit%':>8s} {'queue':>6s}")
     for proto in ProtocolKind:
         r = run_app(args.app, n_cores=args.cores, protocol=proto,
-                    chunks_per_partition=args.chunks)
+                    chunks_per_partition=args.chunks, oracle=args.oracle)
         frac = r.breakdown_fractions()
         print(f"{proto.value:14s} {r.total_cycles:10,d} "
               f"{r.mean_commit_latency:10.1f} "
@@ -74,6 +75,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of lint's own flags work
         from repro.analysis import cli as lint_cli
         return lint_cli.main(argv[1:])
+    if argv and argv[0] == "explore":
+        # delegate untouched so all of explore's own flags work
+        from repro.analysis.explore import cli as explore_cli
+        return explore_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -84,12 +89,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--protocol", default="scalablebulk",
                        choices=sorted(PROTO_BY_NAME))
     p_run.add_argument("--chunks", type=int, default=3)
+    p_run.add_argument("--oracle", action="store_true",
+                       help="attach the invalidation oracle and fail the "
+                            "run on any missed conflicting chunk")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all four protocols side by side")
     p_cmp.add_argument("app")
     p_cmp.add_argument("--cores", type=int, default=16)
     p_cmp.add_argument("--chunks", type=int, default=3)
+    p_cmp.add_argument("--oracle", action="store_true",
+                       help="attach the invalidation oracle to every run")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_apps = sub.add_parser("apps", help="list modelled applications")
@@ -99,6 +109,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                  "(see python -m repro.harness.sweep -h)")
     sub.add_parser("lint", help="protocol linter + determinism analysis "
                                 "(see python -m repro lint -h)")
+    sub.add_parser("explore", help="schedule-exploration model checker "
+                                   "(see python -m repro explore -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

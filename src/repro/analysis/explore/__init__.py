@@ -1,0 +1,49 @@
+"""Schedule exploration: a stateless model checker for the real engines.
+
+The packages under here drive the *actual* protocol implementations (not an
+abstract model) through systematically varied message interleavings on tiny
+configurations, checking serializability, invalidation completeness,
+deadlock/livelock freedom and commit accounting on every schedule.  A
+violating schedule is emitted as a JSON trace, delta-minimized to the
+shortest failing decision vector, and can be replayed deterministically
+with ``python -m repro explore --replay``.
+
+See ``docs/verification.md`` for the exploration modes, the SB4xx rule
+codes and the trace format.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.explore.controller import Schedule, ScheduleController
+from repro.analysis.explore.driver import ScheduleResult, run_schedule
+from repro.analysis.explore.invariants import ExploreViolation, InvariantMonitor
+from repro.analysis.explore.minimize import minimize_schedule
+from repro.analysis.explore.mutations import MUTATIONS, Mutation
+from repro.analysis.explore.scenarios import SCENARIOS, Scenario, build_machine
+from repro.analysis.explore.strategies import (
+    ExplorationReport,
+    explore_exhaustive,
+    explore_random,
+)
+from repro.analysis.explore.trace import load_trace, replay_trace, save_trace
+
+__all__ = [
+    "ExplorationReport",
+    "ExploreViolation",
+    "InvariantMonitor",
+    "MUTATIONS",
+    "Mutation",
+    "SCENARIOS",
+    "Scenario",
+    "Schedule",
+    "ScheduleController",
+    "ScheduleResult",
+    "build_machine",
+    "explore_exhaustive",
+    "explore_random",
+    "load_trace",
+    "minimize_schedule",
+    "replay_trace",
+    "run_schedule",
+    "save_trace",
+]

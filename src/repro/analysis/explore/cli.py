@@ -1,0 +1,202 @@
+"""``python -m repro explore``: drive the schedule-exploration checker.
+
+Modes:
+
+* default — explore one scenario (``--scenario``) with ``--mode``
+  exhaustive (DFS over tie-breaks), random (seeded tie-break sampling) or
+  delay (random plus bounded delivery delays).  Exit 1 on a violation;
+  the failing schedule is minimized and written to ``--save`` (or shown).
+* ``--mutate NAME`` — same, against a protocol with one injected bug.
+* ``--mutations`` — the teeth test: every registered mutation must be
+  *caught* on its paired scenario.  Exit 1 if any survives.
+* ``--ci-smoke`` — the bounded CI tier: the unmutated smoke sweep must
+  explore clean AND every mutation must be caught.
+* ``--replay TRACE`` — re-run a saved trace; exit 0 iff the replay
+  reproduces the trace's primary violation code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Sequence
+
+from repro.analysis.explore.driver import ScheduleResult
+from repro.analysis.explore.minimize import minimize_schedule
+from repro.analysis.explore.mutations import MUTATIONS, Mutation
+from repro.analysis.explore.scenarios import SCENARIOS, SMOKE_SCENARIOS, Scenario
+from repro.analysis.explore.strategies import (
+    ExplorationReport,
+    explore_exhaustive,
+    explore_random,
+)
+from repro.analysis.explore.trace import load_trace, replay_trace, save_trace, trace_json
+
+
+def _explore(scenario: Scenario, mutation: Optional[Mutation],
+             args: argparse.Namespace) -> ExplorationReport:
+    if args.mode == "exhaustive":
+        return explore_exhaustive(scenario, mutation,
+                                  max_schedules=args.schedules,
+                                  depth=args.depth)
+    return explore_random(scenario, mutation,
+                          n_schedules=args.schedules, seed=args.seed,
+                          with_delays=args.mode == "delay")
+
+
+def _emit_violation(result: ScheduleResult, args: argparse.Namespace) -> None:
+    if args.minimize:
+        result = minimize_schedule(result.scenario, result.schedule,
+                                   MUTATIONS.get(result.mutation or ""))
+    if args.save:
+        save_trace(result, args.save)
+        print(f"trace written to {args.save}")
+    if args.format == "json":
+        print(json.dumps(trace_json(result), indent=2, sort_keys=True))
+    else:
+        for v in result.violations:
+            print(f"  {v.code} [{v.rule}] t={v.time}: {v.detail}")
+        print(f"  schedule: ties={result.schedule.ties} "
+              f"delays={dict(sorted(result.schedule.delays.items()))}")
+
+
+def _run_mutation_suite(args: argparse.Namespace) -> int:
+    missed: List[str] = []
+    for name, mutation in MUTATIONS.items():
+        scenario = SCENARIOS[mutation.scenario]
+        report = _explore(scenario, mutation, args)
+        if report.clean:
+            print(f"MISSED  {name} on {mutation.scenario} "
+                  f"({report.schedules_run} schedules, expected "
+                  f"{mutation.expected})")
+            missed.append(name)
+        else:
+            assert report.violation is not None
+            codes = "/".join(report.violation.codes)
+            print(f"caught  {name} on {mutation.scenario} "
+                  f"({report.schedules_run} schedules): {codes}")
+    if missed:
+        print(f"{len(missed)} mutation(s) survived exploration: "
+              f"{', '.join(missed)}")
+        return 1
+    print(f"all {len(MUTATIONS)} mutations caught")
+    return 0
+
+
+def _run_clean_sweep(names: Sequence[str], args: argparse.Namespace) -> int:
+    failures = 0
+    for name in names:
+        report = _explore(SCENARIOS[name], None, args)
+        if report.clean:
+            print(f"clean   {name} ({report.schedules_run} schedules)")
+            continue
+        failures += 1
+        assert report.violation is not None
+        print(f"FAIL    {name}: {'/'.join(report.violation.codes)} after "
+              f"{report.schedules_run} schedules")
+        _emit_violation(report.violation, args)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description="schedule-exploration model checker for the protocol "
+                    "engines (see docs/verification.md)")
+    parser.add_argument("--scenario", default=None,
+                        help="scenario name (see --list); default: the "
+                             "CI smoke set")
+    parser.add_argument("--mode", choices=("exhaustive", "random", "delay"),
+                        default="exhaustive")
+    parser.add_argument("--schedules", type=int, default=200,
+                        help="schedule budget per scenario (default 200)")
+    parser.add_argument("--depth", type=int, default=12,
+                        help="exhaustive mode: deepest choice point allowed "
+                             "to deviate (default 12)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random/delay mode sampling seed")
+    parser.add_argument("--mutate", default=None, metavar="NAME",
+                        help="inject one protocol bug (see --list)")
+    parser.add_argument("--mutations", action="store_true",
+                        help="teeth test: every mutation must be caught")
+    parser.add_argument("--ci-smoke", action="store_true",
+                        help="bounded CI tier: clean sweep + mutation suite")
+    parser.add_argument("--replay", default=None, metavar="TRACE",
+                        help="re-run a saved trace and check it reproduces")
+    parser.add_argument("--save", default=None, metavar="PATH",
+                        help="write the (minimized) failing trace here")
+    parser.add_argument("--no-minimize", dest="minimize",
+                        action="store_false",
+                        help="keep the raw failing schedule instead of "
+                             "delta-minimizing it")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and mutations, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("scenarios:")
+        for name, s in SCENARIOS.items():
+            smoke = " [smoke]" if name in SMOKE_SCENARIOS else ""
+            print(f"  {name:10s} {s.protocol.value:13s} {s.n_cores} cores, "
+                  f"pattern={s.pattern}, oci={s.oci}{smoke}")
+        print("mutations:")
+        for name, m in MUTATIONS.items():
+            print(f"  {name:24s} on {m.scenario}: {m.description} "
+                  f"(expect {m.expected})")
+        return 0
+
+    if args.replay:
+        data = load_trace(args.replay)
+        result = replay_trace(data)
+        want = [str(v["code"]) for v in data.get("violations", ())]
+        got = result.codes
+        print(f"replay of {args.replay}: expected {want or 'clean'}, "
+              f"got {got or 'clean'}")
+        ok = (want[0] in got) if want else not got
+        return 0 if ok else 1
+
+    if args.ci_smoke:
+        sweep = _run_clean_sweep(SMOKE_SCENARIOS, args)
+        suite = _run_mutation_suite(args)
+        return 1 if (sweep or suite) else 0
+
+    if args.mutations:
+        return _run_mutation_suite(args)
+
+    mutation = None
+    if args.mutate is not None:
+        mutation = MUTATIONS.get(args.mutate)
+        if mutation is None:
+            parser.error(f"unknown mutation {args.mutate!r} "
+                         f"(choices: {', '.join(MUTATIONS)})")
+
+    if args.scenario is not None:
+        if args.scenario not in SCENARIOS:
+            parser.error(f"unknown scenario {args.scenario!r} "
+                         f"(choices: {', '.join(SCENARIOS)})")
+        names: Sequence[str] = [args.scenario]
+    elif mutation is not None:
+        names = [mutation.scenario]
+    else:
+        names = SMOKE_SCENARIOS
+
+    if mutation is not None:
+        failures = 0
+        for name in names:
+            report = _explore(SCENARIOS[name], mutation, args)
+            if report.clean:
+                print(f"MISSED  {mutation.name} on {name} "
+                      f"({report.schedules_run} schedules)")
+                failures += 1
+            else:
+                assert report.violation is not None
+                print(f"caught  {mutation.name} on {name}: "
+                      f"{'/'.join(report.violation.codes)}")
+                _emit_violation(report.violation, args)
+        return 1 if failures else 0
+
+    return _run_clean_sweep(names, args)
+
+
+__all__ = ["main"]

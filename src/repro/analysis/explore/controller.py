@@ -1,0 +1,165 @@
+"""The schedule controller: replayable tie-break and delay decisions.
+
+A :class:`Schedule` is a pure decision vector:
+
+* ``ties[k]`` — at the *k*-th same-cycle choice point, the index (into the
+  filtered candidate list, see :func:`reorder_candidates`) of the event to
+  run first.  ``0`` is always the default insertion order, so the empty
+  schedule reproduces the seed behaviour byte for byte.
+* ``delays[i]`` — extra delivery cycles added to the *i*-th message send of
+  the run.  Send index — not ``Message.uid`` — keys the decision because
+  uids come from a process-global counter and are not stable across the
+  many runs a single exploration performs.
+
+:class:`ScheduleController` turns a schedule into the two engine hooks
+(``Simulator.tie_breaker`` and ``Network.delay_hook``) and records the
+*realized* schedule — including any decisions drawn from the exploration
+RNGs past the end of the prescribed vector — so every run, random or not,
+can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.engine.events import Event
+from repro.engine.rng import DeterministicRng
+from repro.network.message import Message
+
+
+def reorder_candidates(batch: List[Event]) -> List[int]:
+    """Indices of events in ``batch`` that may legally run first.
+
+    ``batch`` is the set of live events due at the current cycle, in
+    insertion (seq) order.  Any non-delivery event is a candidate.  Of the
+    message deliveries, only the *earliest* per (src, dst) flow is a
+    candidate: real links do not reorder packets between the same pair of
+    endpoints, and the conformance rules of Tables 4/5 assume exactly that
+    FIFO property.
+
+    Index 0 is always a candidate, so picking ``candidates[0]`` is always
+    the default insertion order.
+    """
+    out: List[int] = []
+    seen_flows: Set[Tuple[Any, Any]] = set()
+    for i, ev in enumerate(batch):
+        tag = ev.tag
+        if isinstance(tag, tuple) and len(tag) == 4 and tag[0] == "deliver":
+            flow = (tag[1], tag[2])
+            if flow in seen_flows:
+                continue
+            seen_flows.add(flow)
+        out.append(i)
+    return out
+
+
+@dataclass
+class Schedule:
+    """One reproducible scheduling decision vector (see module docstring)."""
+
+    ties: List[int] = field(default_factory=list)
+    delays: Dict[int, int] = field(default_factory=dict)
+
+    def decision_count(self) -> int:
+        """Number of non-default decisions (what minimization shrinks)."""
+        return (sum(1 for t in self.ties if t)
+                + sum(1 for v in self.delays.values() if v))
+
+    def trimmed(self) -> "Schedule":
+        """Drop trailing default picks and zero delays (canonical form)."""
+        ties = list(self.ties)
+        while ties and ties[-1] == 0:
+            ties.pop()
+        return Schedule(ties=ties,
+                        delays={k: v for k, v in self.delays.items() if v})
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ties": list(self.ties),
+            "delays": [[k, v] for k, v in sorted(self.delays.items())],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Schedule":
+        ties = [int(t) for t in data.get("ties", ())]
+        delays = {int(k): int(v) for k, v in data.get("delays", ())}
+        return cls(ties=ties, delays=delays)
+
+
+class ScheduleController:
+    """Bridges a :class:`Schedule` to the simulator/network hooks.
+
+    Decisions beyond the prescribed schedule come from the optional
+    exploration RNGs (random / delay-bounded sampling); with no RNGs the
+    controller extends the schedule with defaults.  Either way every
+    decision taken is appended to :attr:`realized`.
+    """
+
+    def __init__(self, schedule: Optional[Schedule] = None, *,
+                 tie_rng: Optional[DeterministicRng] = None,
+                 delay_rng: Optional[DeterministicRng] = None,
+                 delay_prob: float = 0.15, max_delay: int = 24) -> None:
+        self.schedule = schedule if schedule is not None else Schedule()
+        self.tie_rng = tie_rng
+        self.delay_rng = delay_rng
+        self.delay_prob = delay_prob
+        self.max_delay = max_delay
+        #: every decision actually taken this run (replayable)
+        self.realized = Schedule()
+        #: candidate count at each choice point (DFS branching factors)
+        self.choice_counts: List[int] = []
+        self._sends = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, machine: Any) -> None:
+        """Install both hooks on a freshly built machine."""
+        machine.sim.tie_breaker = self.tie_break
+        machine.network.delay_hook = self.delay
+
+    # ------------------------------------------------------------------
+    # Simulator.tie_breaker
+    # ------------------------------------------------------------------
+    def tie_break(self, batch: List[Event]) -> int:
+        cands = reorder_candidates(batch)
+        if len(cands) <= 1:
+            # Not a choice point: every reordering is FIFO-equivalent.
+            return cands[0]
+        k = len(self.choice_counts)
+        self.choice_counts.append(len(cands))
+        if k < len(self.schedule.ties):
+            pick = self.schedule.ties[k]
+        elif self.tie_rng is not None:
+            pick = self.tie_rng.randint(0, len(cands) - 1)
+        else:
+            pick = 0
+        if not 0 <= pick < len(cands):
+            pick = 0  # schedule from a different prefix: clamp to default
+        self.realized.ties.append(pick)
+        return cands[pick]
+
+    # ------------------------------------------------------------------
+    # Network.delay_hook
+    # ------------------------------------------------------------------
+    def delay(self, msg: Message, latency: int) -> int:
+        idx = self._sends
+        self._sends += 1
+        extra = self.schedule.delays.get(idx)
+        if extra is None:
+            if (self.delay_rng is not None
+                    and self.max_delay > 0
+                    and self.delay_rng.bernoulli(self.delay_prob)):
+                extra = self.delay_rng.randint(1, self.max_delay)
+            else:
+                extra = 0
+        if extra:
+            self.realized.delays[idx] = extra
+        return extra
+
+    @property
+    def sends(self) -> int:
+        """Messages injected this run (the delay-decision key space)."""
+        return self._sends
+
+
+__all__ = ["Schedule", "ScheduleController", "reorder_candidates"]

@@ -1,0 +1,81 @@
+"""Run one schedule against one scenario: the model checker's inner loop.
+
+Stateless-model-checking style: every schedule gets a freshly built
+machine, the controller replays (or extends) the decision vector, the
+invariant monitor watches the run, and the result carries the *realized*
+schedule so any run — exhaustive, random or replayed — reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.analysis.explore.controller import Schedule, ScheduleController
+from repro.analysis.explore.invariants import ExploreViolation, InvariantMonitor
+from repro.analysis.explore.mutations import Mutation
+from repro.analysis.explore.scenarios import Scenario, build_machine
+from repro.engine.rng import DeterministicRng
+
+
+@dataclass
+class ScheduleResult:
+    """Everything one schedule run produced."""
+
+    scenario: Scenario
+    schedule: Schedule                 #: realized decisions, canonical form
+    violations: List[ExploreViolation] = field(default_factory=list)
+    choice_counts: List[int] = field(default_factory=list)
+    sends: int = 0                     #: messages injected
+    cycles: int = 0                    #: simulated cycles at end of run
+    mutation: Optional[str] = None     #: mutation name, if one was applied
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    @property
+    def codes(self) -> List[str]:
+        """Violation rule codes, first occurrence order, deduplicated."""
+        seen: List[str] = []
+        for v in self.violations:
+            if v.code not in seen:
+                seen.append(v.code)
+        return seen
+
+
+def run_schedule(scenario: Scenario,
+                 schedule: Optional[Schedule] = None,
+                 mutation: Optional[Mutation] = None, *,
+                 tie_rng: Optional[DeterministicRng] = None,
+                 delay_rng: Optional[DeterministicRng] = None,
+                 delay_prob: float = 0.15,
+                 max_delay: int = 24) -> ScheduleResult:
+    """Build, patch, monitor, run — and collect what happened."""
+    machine = build_machine(scenario)
+    if mutation is not None:
+        mutation.apply(machine)
+    monitor = InvariantMonitor(machine,
+                               expected_per_core=scenario.chunks_per_core)
+    controller = ScheduleController(
+        schedule, tie_rng=tie_rng, delay_rng=delay_rng,
+        delay_prob=delay_prob, max_delay=max_delay)
+    controller.attach(machine)
+    try:
+        machine.run(max_events=scenario.max_events, prewarm=False)
+    except RuntimeError as err:
+        monitor.note_abnormal_end(str(err))
+    else:
+        monitor.finalize()
+    return ScheduleResult(
+        scenario=scenario,
+        schedule=controller.realized.trimmed(),
+        violations=list(monitor.violations),
+        choice_counts=list(controller.choice_counts),
+        sends=controller.sends,
+        cycles=int(machine.sim.now),
+        mutation=mutation.name if mutation is not None else None,
+    )
+
+
+__all__ = ["ScheduleResult", "run_schedule"]

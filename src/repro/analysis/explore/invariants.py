@@ -1,0 +1,256 @@
+"""Per-schedule invariants, reported under the SB4xx rule codes.
+
+The monitor composes the existing runtime validators with checks that only
+matter under adversarial scheduling:
+
+* **co-held incompatibility** (SB401) — no directory may simultaneously
+  hold two groups whose signatures collide; the collision rule must have
+  failed one of them.  Checked after every admission/confirmation with the
+  directory's own ``incompatible_with`` test, so the unmutated protocol
+  cannot false-positive: admission runs the identical test.
+* **doomed-chunk commit** (SB401) — when a group confirms, any *other*
+  core's active chunk that has consumed a line the group is overwriting
+  while being a **registered sharer** of it is doomed: the protocol
+  promises to invalidate registered sharers and squash their conflicting
+  chunks, so that attempt — tag including the squash generation — must
+  never reach ``on_commit_success``.  The exemptions keep the check
+  exact.  A chunk whose own group already formed is serialized *before*
+  the committer.  A line whose read is still in flight is served the
+  post-commit value.  Pure write/write overlap does not doom: blind
+  writes serialize behind the committer.  And an *unregistered* stale
+  copy (the fill crossed a concurrent commit that reset the sharer list)
+  is excluded because the execution stays serializable — a chunk that
+  only read the line's previous version orders legally before the
+  committer, which is not something the commit-timestamp order can see.
+* **commit accounting** (SB406) — at quiescence every core committed
+  exactly its scripted number of chunks, exactly once per (core, seq),
+  with no unresolved squash-pending (OCI alias) chunk.
+
+The invalidation oracle maps to SB402 — filtered to the chunks the same
+confirm doomed, because the oracle's global view counts a conflict the
+moment a line enters a chunk's read-set, one message round-trip before
+the data (fresh or stale) actually arrives and regardless of sharer
+registration.  A
+deadlocked quiescence maps to SB403, an exceeded event budget to SB404,
+and every runtime conformance break (Tables 4/5) to SB405.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.core.cst import CstEntry
+from repro.core.directory_engine import ScalableBulkDirectory
+from repro.validation.oracle import attach_oracle
+from repro.validation.orderings import attach_conformance_checker
+
+
+@dataclass(frozen=True)
+class ExploreViolation:
+    """One invariant break observed during a schedule run."""
+
+    code: str     #: SB4xx rule code (see repro.analysis.findings.RULES)
+    rule: str     #: short rule name
+    time: int     #: simulated cycle of detection
+    detail: str   #: what broke, specifically
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"code": self.code, "rule": self.rule,
+                "time": self.time, "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ExploreViolation":
+        return cls(code=str(data["code"]), rule=str(data["rule"]),
+                   time=int(data["time"]), detail=str(data["detail"]))
+
+
+class InvariantMonitor:
+    """Attaches every checker to a machine and collects violations."""
+
+    def __init__(self, machine: Any, expected_per_core: int) -> None:
+        self.machine = machine
+        self.expected_per_core = expected_per_core
+        self.violations: List[ExploreViolation] = []
+        # The conversation rules and the invalidation oracle encode
+        # ScalableBulk semantics (leaders, groups, CSTs); the baseline
+        # protocols reuse some message types with different roles, so
+        # those two validators only attach to ScalableBulk machines.
+        # Commit accounting and deadlock/livelock apply to every protocol.
+        self._scalablebulk = any(
+            isinstance(d, ScalableBulkDirectory) for d in machine.directories)
+        self.conformance = (attach_conformance_checker(machine)
+                            if self._scalablebulk else None)
+        self.oracle = attach_oracle(machine) if self._scalablebulk else None
+        #: chunk tags (core, seq, gen) whose group formed — exempt from doom
+        self._confirmed_tags: Set[Any] = set()
+        #: doomed attempt tag -> why it must not commit
+        self._doomed: Dict[Any, str] = {}
+        #: (core, seq) -> commit_success deliveries observed
+        self._commit_counts: Dict[Tuple[int, int], int] = {}
+        self._coheld_seen: Set[Tuple[int, Any, Any]] = set()
+        for directory in machine.directories:
+            if isinstance(directory, ScalableBulkDirectory):
+                self._wrap_directory(directory)
+        for core in machine.cores:
+            self._wrap_core(core)
+
+    # ------------------------------------------------------------------
+    def _flag(self, code: str, rule: str, detail: str) -> None:
+        self.violations.append(ExploreViolation(
+            code=code, rule=rule, time=int(self.machine.sim.now),
+            detail=detail))
+
+    def _cached(self, core: Any, line: int) -> bool:
+        """Is ``line`` present in the core's local hierarchy right now?"""
+        return (core.hierarchy.l1.peek(line) is not None
+                or core.hierarchy.l2.peek(line) is not None)
+
+    # ------------------------------------------------------------------
+    # ScalableBulk directory taps
+    # ------------------------------------------------------------------
+    def _wrap_directory(self, directory: ScalableBulkDirectory) -> None:
+        inner_advance = directory._maybe_advance
+        inner_confirm = directory._confirm_group
+
+        def advance(entry: CstEntry) -> None:
+            inner_advance(entry)
+            self._scan_coheld(directory)
+
+        def confirm(entry: CstEntry) -> None:
+            self._confirmed_tags.add(entry.cid[0])
+            # Doom-marking must read the sharer lists *before* the commit
+            # applies (apply_commit resets them to just the writer).
+            doomed_now = self._mark_doomed(entry)
+            self._scan_coheld(directory)
+            oracle = self.oracle
+            oracle_mark = len(oracle.violations) if oracle is not None else 0
+            inner_confirm(entry)
+            if oracle is not None:
+                self._filter_oracle(oracle_mark, doomed_now)
+
+        directory._maybe_advance = advance
+        directory._confirm_group = confirm
+
+    def _scan_coheld(self, directory: ScalableBulkDirectory) -> None:
+        held = [e for e in directory.cst.values() if e.held]
+        for i, a in enumerate(held):
+            for b in held[i + 1:]:
+                if not a.incompatible_with(b):
+                    continue
+                key = (directory.dir_id, a.cid, b.cid)
+                if key in self._coheld_seen:
+                    continue
+                self._coheld_seen.add(key)
+                self._flag(
+                    "SB401", "co-held incompatible groups",
+                    f"dir {directory.dir_id} holds {a.cid} and {b.cid} "
+                    f"although their signatures collide")
+
+    def _registered(self, core_id: int, line: int) -> bool:
+        """Is ``core_id`` a registered sharer/owner of ``line`` at its home?"""
+        config = self.machine.config
+        page = line * config.line_bytes // config.page_bytes
+        home = self.machine.page_mapper.lookup(page)
+        if home is None:
+            return False
+        info = self.machine.directories[home].lines.get(line)
+        if info is None:
+            return False
+        return core_id in info.sharers or info.owner == core_id
+
+    def _mark_doomed(self, entry: CstEntry) -> Set[Any]:
+        """Mark chunks this confirm dooms; returns the tags marked now."""
+        marked: Set[Any] = set()
+        write_lines = set(entry.write_lines)
+        if not write_lines:
+            return marked
+        for core in self.machine.cores:
+            if core.core_id == entry.proc:
+                continue
+            for chunk in core.active_chunks():
+                if chunk.tag in self._confirmed_tags:
+                    continue  # its group formed first: ordered before us
+                stale = {line for line in write_lines & chunk.read_lines
+                         if self._cached(core, line)
+                         and self._registered(core.core_id, line)}
+                if stale:
+                    marked.add(chunk.tag)
+                    self._doomed.setdefault(
+                        chunk.tag,
+                        f"it read lines {sorted(stale)[:4]} overwritten by "
+                        f"commit {entry.cid}")
+        return marked
+
+    def _filter_oracle(self, mark: int, doomed_now: Set[Any]) -> None:
+        """Keep only oracle violations whose victim this confirm doomed."""
+        if self.oracle is None:
+            return
+        fresh = self.oracle.violations[mark:]
+        del self.oracle.violations[mark:]
+        self.oracle.violations.extend(
+            v for v in fresh if v.conflicting_tag in doomed_now)
+
+    # ------------------------------------------------------------------
+    # Core taps: doomed commits, double commits
+    # ------------------------------------------------------------------
+    def _wrap_core(self, core: Any) -> None:
+        inner_success = core.on_commit_success
+
+        def on_commit_success(chunk: Any) -> None:
+            doom = self._doomed.get(chunk.tag)
+            if doom is not None:
+                self._flag(
+                    "SB401", "doomed chunk committed",
+                    f"P{chunk.tag.core} committed {chunk.tag} although {doom}")
+            ident = (chunk.tag.core, chunk.tag.seq)
+            count = self._commit_counts.get(ident, 0) + 1
+            self._commit_counts[ident] = count
+            if count > 1:
+                self._flag(
+                    "SB406", "double commit",
+                    f"chunk {ident} reported committed {count} times")
+            inner_success(chunk)
+
+        core.on_commit_success = on_commit_success
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def note_abnormal_end(self, message: str) -> None:
+        """Map the runner's RuntimeErrors to deadlock/livelock findings."""
+        self._drain_validators()
+        if "max_events" in message:
+            self._flag("SB404", "livelock", message)
+        else:
+            self._flag("SB403", "deadlock", message)
+
+    def finalize(self) -> None:
+        """Run the quiescence-time checks after a normal completion."""
+        self._drain_validators()
+        for core in self.machine.cores:
+            committed = int(core.stats.chunks_committed)
+            if committed != self.expected_per_core:
+                self._flag(
+                    "SB406", "commit count mismatch",
+                    f"P{core.core_id} committed {committed} chunks, "
+                    f"expected {self.expected_per_core}")
+            for chunk in core.active_chunks():
+                if chunk.squash_pending:
+                    self._flag(
+                        "SB406", "unresolved squash-pending chunk",
+                        f"P{core.core_id} quiesced with {chunk.tag} still "
+                        f"awaiting its OCI alias outcome")
+
+    def _drain_validators(self) -> None:
+        if self.oracle is not None:
+            for v in self.oracle.violations:
+                self._flag("SB402", "lost invalidation", str(v))
+            self.oracle.violations.clear()
+        if self.conformance is not None:
+            for ov in self.conformance.violations:
+                self._flag("SB405", ov.rule, str(ov))
+            self.conformance.violations.clear()
+
+
+__all__ = ["ExploreViolation", "InvariantMonitor"]

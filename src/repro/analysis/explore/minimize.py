@@ -1,0 +1,106 @@
+"""Delta-minimize a failing schedule to its shortest failing core.
+
+Classic ddmin over the schedule's *non-default decisions* (tie-break picks
+other than 0, nonzero delays): try removing chunks of decisions, keep any
+reduction that still reproduces the original violation code, then finish
+with a one-at-a-time greedy pass.  The minimized schedule is re-run once
+more at the end so the returned result is the trace that actually ships.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.explore.controller import Schedule
+from repro.analysis.explore.driver import ScheduleResult, run_schedule
+from repro.analysis.explore.mutations import Mutation
+from repro.analysis.explore.scenarios import Scenario
+
+#: one non-default decision: ("tie", choice point, pick) or ("delay", send, extra)
+_Decision = Tuple[str, int, int]
+
+
+def _decisions(schedule: Schedule) -> List[_Decision]:
+    out: List[_Decision] = []
+    for k, pick in enumerate(schedule.ties):
+        if pick:
+            out.append(("tie", k, pick))
+    for idx in sorted(schedule.delays):
+        if schedule.delays[idx]:
+            out.append(("delay", idx, schedule.delays[idx]))
+    return out
+
+
+def _assemble(decisions: List[_Decision]) -> Schedule:
+    ties: List[int] = []
+    delays = {}
+    for kind, key, value in decisions:
+        if kind == "tie":
+            if len(ties) <= key:
+                ties.extend([0] * (key + 1 - len(ties)))
+            ties[key] = value
+        else:
+            delays[key] = value
+    return Schedule(ties=ties, delays=delays)
+
+
+def minimize_schedule(scenario: Scenario,
+                      schedule: Schedule,
+                      mutation: Optional[Mutation] = None, *,
+                      target_code: Optional[str] = None,
+                      max_runs: int = 200) -> ScheduleResult:
+    """Shrink ``schedule`` while it still triggers ``target_code``.
+
+    ``target_code`` defaults to the first violation code of the original
+    run.  Returns the result of re-running the minimized schedule (which
+    therefore carries the violation evidence for the trace).
+    """
+    runs = 0
+
+    def reproduces(candidate: List[_Decision]) -> bool:
+        nonlocal runs, target_code
+        if runs >= max_runs:
+            return False
+        runs += 1
+        result = run_schedule(scenario, _assemble(candidate), mutation)
+        return target_code in result.codes
+
+    if target_code is None:
+        baseline = run_schedule(scenario, schedule, mutation)
+        runs += 1
+        if not baseline.failed:
+            return baseline  # nothing to minimize; caller sees the clean run
+        target_code = baseline.codes[0]
+
+    current = _decisions(schedule)
+    # ddmin: remove complement chunks at increasing granularity.
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate != current and reproduces(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    # Greedy single-decision sweep to catch stragglers.
+    i = 0
+    while i < len(current) and runs < max_runs:
+        candidate = current[:i] + current[i + 1:]
+        if reproduces(candidate):
+            current = candidate
+        else:
+            i += 1
+    return run_schedule(scenario, _assemble(current), mutation)
+
+
+__all__ = ["minimize_schedule"]

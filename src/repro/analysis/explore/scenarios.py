@@ -1,0 +1,161 @@
+"""Tiny, fully pinned machine configurations for schedule exploration.
+
+A :class:`Scenario` describes a 2–4 core machine running a hand-built
+micro-workload whose page homes are premapped, so every run of the same
+scenario sees the identical program and memory layout and the *only*
+degree of freedom is the schedule.
+
+Two access patterns cover the conflict classes the protocol must survive:
+
+* ``cross`` — every core blind-writes one shared line (homed at the
+  highest-numbered directory) and reads a private line homed at its own
+  tile.  Groups span {own dir, shared dir} with *distinct leaders*, so
+  W∩W group collisions pile up at the shared directory.
+* ``mixed`` — even cores write the shared line, odd cores read it.  The
+  readers register as sharers, so winning commits send bulk invalidations
+  that squash reader chunks: the R∩W, OCI-recall and (with ``oci=False``)
+  conservative-nack paths all fire.
+
+Commit conflicts need concurrency, not luck: all cores start at cycle 0
+with identically shaped chunks, so their commit requests overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.cpu.chunk import ChunkAccess, ChunkSpec
+from repro.harness.runner import Machine
+
+#: page numbers far from anything else the simulator touches
+_SHARED_PAGE = 64
+_PRIVATE_PAGE_BASE = 128
+
+_PROTO_BY_VALUE = {p.value: p for p in ProtocolKind}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One explorable configuration: machine + micro-workload, fully pinned."""
+
+    name: str
+    protocol: ProtocolKind = ProtocolKind.SCALABLEBULK
+    n_cores: int = 3
+    chunks_per_core: int = 2
+    oci: bool = True
+    seed: int = 2010
+    pattern: str = "mixed"          #: "cross" or "mixed" (see module docstring)
+    max_events: int = 150_000       #: per-schedule livelock bound
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol.value,
+            "n_cores": self.n_cores,
+            "chunks_per_core": self.chunks_per_core,
+            "oci": self.oci,
+            "seed": self.seed,
+            "pattern": self.pattern,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Scenario":
+        return cls(
+            name=str(data["name"]),
+            protocol=_PROTO_BY_VALUE[str(data["protocol"])],
+            n_cores=int(data["n_cores"]),
+            chunks_per_core=int(data["chunks_per_core"]),
+            oci=bool(data["oci"]),
+            seed=int(data["seed"]),
+            pattern=str(data["pattern"]),
+            max_events=int(data["max_events"]),
+        )
+
+
+@dataclass
+class _SpecSource:
+    """Per-core chunk queues behind the ``next_spec`` callback."""
+
+    queues: Dict[int, List[ChunkSpec]] = field(default_factory=dict)
+
+    def __call__(self, core_id: int) -> Optional[ChunkSpec]:
+        queue = self.queues.get(core_id)
+        if not queue:
+            return None
+        return queue.pop(0)
+
+
+def _writes_shared(pattern: str, core_id: int) -> bool:
+    if pattern == "cross":
+        return True
+    if pattern == "mixed":
+        return core_id % 2 == 0
+    raise ValueError(f"unknown scenario pattern {pattern!r}")
+
+
+def _build_specs(scenario: Scenario, config: SystemConfig) -> _SpecSource:
+    shared_addr = _SHARED_PAGE * config.page_bytes
+    source = _SpecSource()
+    for core in range(scenario.n_cores):
+        is_writer = _writes_shared(scenario.pattern, core)
+        queue: List[ChunkSpec] = []
+        for k in range(scenario.chunks_per_core):
+            private_addr = ((_PRIVATE_PAGE_BASE + core) * config.page_bytes
+                            + k * config.line_bytes)
+            accesses = [
+                ChunkAccess(gap=2, byte_addr=private_addr, is_write=False),
+                ChunkAccess(gap=2, byte_addr=shared_addr, is_write=is_writer),
+            ]
+            queue.append(ChunkSpec(n_instructions=10, accesses=accesses))
+        source.queues[core] = queue
+    return source
+
+
+def build_machine(scenario: Scenario) -> Machine:
+    """A fresh, fully deterministic machine for one schedule run."""
+    config = SystemConfig(
+        n_cores=scenario.n_cores,
+        protocol=scenario.protocol,
+        oci=scenario.oci,
+        seed=scenario.seed,
+    )
+    machine = Machine(config, next_spec=_build_specs(scenario, config))
+    # Pin every page home: a first-touch race would make the memory layout
+    # itself schedule-dependent, and then schedules would not be comparable.
+    machine.page_mapper.premap(_SHARED_PAGE, scenario.n_cores - 1)
+    for core in range(scenario.n_cores):
+        machine.page_mapper.premap(_PRIVATE_PAGE_BASE + core, core)
+    return machine
+
+
+def _scalablebulk_scenarios() -> List[Scenario]:
+    return [
+        Scenario(name="pair", n_cores=2, pattern="mixed"),
+        Scenario(name="cross2", n_cores=2, pattern="cross"),
+        Scenario(name="cross3", n_cores=3, pattern="cross"),
+        Scenario(name="mixed3", n_cores=3, pattern="mixed"),
+        Scenario(name="mixed4", n_cores=4, pattern="mixed"),
+        Scenario(name="nack2", n_cores=2, pattern="mixed", oci=False),
+        Scenario(name="nack3", n_cores=3, pattern="mixed", oci=False),
+    ]
+
+
+#: every named scenario, keyed by name
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in _scalablebulk_scenarios() + [
+        Scenario(name="tcc3", protocol=ProtocolKind.TCC, n_cores=3),
+        Scenario(name="bulksc3", protocol=ProtocolKind.BULKSC, n_cores=3),
+        Scenario(name="seq3", protocol=ProtocolKind.SEQ, n_cores=3),
+    ]
+}
+
+#: the bounded CI tier: exhaustively swept scenarios (small choice trees)
+SMOKE_SCENARIOS: List[str] = [
+    "pair", "cross2", "cross3", "mixed3", "nack3", "tcc3", "bulksc3",
+]
+
+__all__ = ["SCENARIOS", "SMOKE_SCENARIOS", "Scenario", "build_machine"]

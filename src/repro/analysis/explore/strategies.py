@@ -1,0 +1,101 @@
+"""Exploration strategies: exhaustive DFS and seeded random sampling.
+
+*Exhaustive* walks the tie-break decision tree depth-first by prefix
+extension: run the empty schedule, learn the branching factor at every
+choice point it encountered, then for each choice point within ``depth``
+enqueue the non-default alternatives.  Each decision vector is generated
+by exactly one parent prefix, so the walk never runs a schedule twice.
+Delays stay off: tie-breaks already cover every same-cycle ordering, and
+the tree stays small enough to finish within the CI budget.
+
+*Random* draws both tie-breaks and (optionally) bounded delivery delays
+from per-iteration :class:`DeterministicRng` streams, so any iteration of
+any seed is independently reproducible; the realized schedule in the
+result replays without the RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.explore.controller import Schedule
+from repro.analysis.explore.driver import ScheduleResult, run_schedule
+from repro.analysis.explore.mutations import Mutation
+from repro.analysis.explore.scenarios import Scenario
+from repro.engine.rng import DeterministicRng
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exploration sweep over one scenario."""
+
+    scenario: Scenario
+    mode: str                                #: "exhaustive" | "random" | "delay"
+    schedules_run: int
+    violation: Optional[ScheduleResult] = None   #: first failing run, if any
+    mutation: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.violation is None
+
+
+def explore_exhaustive(scenario: Scenario,
+                       mutation: Optional[Mutation] = None, *,
+                       max_schedules: int = 512,
+                       depth: int = 12) -> ExplorationReport:
+    """DFS over tie-break vectors, bounded by depth and schedule count.
+
+    ``depth`` caps which choice points may deviate from the default order;
+    ``max_schedules`` caps total runs so a mutated protocol with a huge
+    tree still fails fast in CI.
+    """
+    frontier: List[List[int]] = [[]]
+    runs = 0
+    while frontier and runs < max_schedules:
+        ties = frontier.pop()
+        result = run_schedule(scenario, Schedule(ties=list(ties)),
+                              mutation)
+        runs += 1
+        if result.failed:
+            return ExplorationReport(
+                scenario=scenario, mode="exhaustive", schedules_run=runs,
+                violation=result, mutation=result.mutation)
+        # Extend only at choice points at/after this vector's length: each
+        # deeper vector then has a unique generating prefix (no dup runs).
+        horizon = min(len(result.choice_counts), depth)
+        for k in range(len(ties), horizon):
+            for alt in range(result.choice_counts[k] - 1, 0, -1):
+                frontier.append(ties + [0] * (k - len(ties)) + [alt])
+    return ExplorationReport(
+        scenario=scenario, mode="exhaustive", schedules_run=runs,
+        mutation=mutation.name if mutation is not None else None)
+
+
+def explore_random(scenario: Scenario,
+                   mutation: Optional[Mutation] = None, *,
+                   n_schedules: int = 64,
+                   seed: int = 0,
+                   with_delays: bool = False,
+                   delay_prob: float = 0.15,
+                   max_delay: int = 24) -> ExplorationReport:
+    """Seeded random sampling; ``with_delays`` adds delay-bounded jitter."""
+    mode = "delay" if with_delays else "random"
+    for i in range(n_schedules):
+        root = DeterministicRng(seed, f"explore/{i}")
+        tie_rng = root.split("ties")
+        delay_rng = root.split("delays") if with_delays else None
+        result = run_schedule(
+            scenario, None, mutation, tie_rng=tie_rng, delay_rng=delay_rng,
+            delay_prob=delay_prob, max_delay=max_delay)
+        if result.failed:
+            return ExplorationReport(
+                scenario=scenario, mode=mode, schedules_run=i + 1,
+                violation=result, mutation=result.mutation)
+    return ExplorationReport(
+        scenario=scenario, mode=mode, schedules_run=n_schedules,
+        mutation=mutation.name if mutation is not None else None)
+
+
+__all__ = ["ExplorationReport", "explore_exhaustive", "explore_random"]

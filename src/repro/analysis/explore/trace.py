@@ -1,0 +1,68 @@
+"""Schedule traces: the JSON counterexample format and its replayer.
+
+A trace is self-contained: it embeds the scenario, the mutation name (if
+any) and the realized schedule, so ``python -m repro explore --replay``
+needs nothing but the file.  ``version`` guards the format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.explore.controller import Schedule
+from repro.analysis.explore.driver import ScheduleResult, run_schedule
+from repro.analysis.explore.mutations import MUTATIONS
+from repro.analysis.explore.scenarios import Scenario
+
+TRACE_VERSION = 1
+
+
+def trace_json(result: ScheduleResult) -> Dict[str, Any]:
+    """The serializable trace for a (usually failing) schedule run."""
+    return {
+        "version": TRACE_VERSION,
+        "scenario": result.scenario.to_json(),
+        "mutation": result.mutation,
+        "schedule": result.schedule.to_json(),
+        "violations": [v.to_json() for v in result.violations],
+        "stats": {
+            "choice_points": len(result.choice_counts),
+            "sends": result.sends,
+            "cycles": result.cycles,
+        },
+    }
+
+
+def save_trace(result: ScheduleResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_json(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    version = data.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(
+            f"trace {path} has version {version!r}; this checker "
+            f"reads version {TRACE_VERSION}")
+    return data
+
+
+def replay_trace(data: Dict[str, Any]) -> ScheduleResult:
+    """Re-run a loaded trace's schedule on its scenario (and mutation)."""
+    scenario = Scenario.from_json(data["scenario"])
+    mutation_name = data.get("mutation")
+    mutation = None
+    if mutation_name is not None:
+        mutation = MUTATIONS.get(str(mutation_name))
+        if mutation is None:
+            raise ValueError(f"trace names unknown mutation {mutation_name!r}")
+    schedule = Schedule.from_json(data["schedule"])
+    return run_schedule(scenario, schedule, mutation)
+
+
+__all__ = ["TRACE_VERSION", "load_trace", "replay_trace", "save_trace",
+           "trace_json"]

@@ -51,6 +51,33 @@ RULES: Dict[str, Tuple[str, str]] = {
               "a reachable hold-and-wait state exists in which no group can "
               "complete; grab acquisition must follow one global priority "
               "order"),
+    # -- schedule exploration (repro.analysis.explore) -------------------
+    "SB401": ("serializability violation",
+              "under this message interleaving a chunk that read data later "
+              "overwritten by an earlier-committed chunk itself committed "
+              "without being squashed, or two conflicting groups were held "
+              "or confirmed concurrently at one directory — atomic-block "
+              "semantics are broken"),
+    "SB402": ("lost invalidation",
+              "a group was confirmed whose accumulated inval_vec misses a "
+              "core holding a truly conflicting active chunk (the "
+              "invalidation-completeness oracle fired under exploration)"),
+    "SB403": ("deadlock",
+              "the simulation quiesced with unfinished cores: some chunk "
+              "can never commit under this interleaving (e.g. an ack that "
+              "is never re-solicited)"),
+    "SB404": ("livelock",
+              "the schedule exceeded the event budget without finishing: "
+              "the protocol keeps exchanging messages without making "
+              "commit progress"),
+    "SB405": ("ordering violation",
+              "a Tables 4/5 message-ordering rule was broken under this "
+              "interleaving (runtime conformance checker fired)"),
+    "SB406": ("commit accounting mismatch",
+              "a core finished with the wrong number of committed chunks, "
+              "a squash-pending (OCI alias) chunk was never resolved, or a "
+              "commit was double-counted — the OCI re-validation path "
+              "mis-resolved under this interleaving"),
     # -- pass 3: determinism lint ----------------------------------------
     "SB301": ("unordered iteration reaches scheduler",
               "iterating a set/dict and scheduling events or sending "

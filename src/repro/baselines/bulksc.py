@@ -46,6 +46,13 @@ class _InFlight:
         self.dirs_pending = dirs_pending
 
 
+def _in_flight_scan_key(entry: _InFlight):
+    """Total order for conflict scans: chunk tag then retry attempt —
+    independent of dict insertion order."""
+    tag = entry.cid[0]
+    return (tag.core, tag.seq, tag.gen, entry.cid[1])
+
+
 class BulkSCArbiter:
     """The central commit arbiter: a single FIFO service point."""
 
@@ -86,7 +93,7 @@ class BulkSCArbiter:
         w_sig = msg.payload["w_sig"]
         r_sig = msg.payload["r_sig"]
         write_lines = msg.payload["write_lines"]
-        for other in self.in_flight.values():
+        for other in sorted(self.in_flight.values(), key=_in_flight_scan_key):
             if self._conflicts(w_sig, r_sig, write_lines, other):
                 self.nacks += 1
                 self.network.unicast(MessageType.BSC_NACK, self.node,

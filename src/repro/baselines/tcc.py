@@ -299,7 +299,7 @@ class TCCEngine(ProcessorEngine):
             else:
                 self.network.unicast(MessageType.TCC_SKIP, self.node,
                                      dir_node(d), ctag=msg.ctag, tid=tid)
-        for home, lines in marks_by_dir.items():
+        for home, lines in sorted(marks_by_dir.items()):
             for line in lines:
                 self.network.unicast(MessageType.TCC_MARK, self.node,
                                      dir_node(home), ctag=msg.ctag, line=line)

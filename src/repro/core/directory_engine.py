@@ -42,6 +42,13 @@ def _identity(cid: CommitId) -> ChunkIdentity:
     return (tag.core, tag.seq)
 
 
+def _cst_scan_key(entry: CstEntry) -> Tuple[int, int, int, int]:
+    """Total order over CST entries for collision scanning: chunk tag then
+    retry attempt — independent of dict insertion order."""
+    tag = entry.cid[0]
+    return (tag.core, tag.seq, tag.gen, entry.cid[1])
+
+
 class ScalableBulkDirectory(DirectoryModule):
     """One ScalableBulk directory module (Figure 6)."""
 
@@ -178,17 +185,36 @@ class ScalableBulkDirectory(DirectoryModule):
             return
 
         # Collision rule: this module already irrevocably chose any group
-        # it holds; an incompatible newcomer loses here and now.
-        for other in self.cst.values():
+        # it holds; an incompatible newcomer loses here and now.  The scan
+        # order is irrelevant to the outcome (the newcomer loses whichever
+        # held entry it collides with first), but it must still be explicit
+        # so event order never depends on dict insertion order.
+        for other in sorted(self.cst.values(), key=_cst_scan_key):
             if other is entry or not other.held:
                 continue
-            if entry.incompatible_with(other):
+            if self._collides(entry, other):
                 self.protocol.stats.group_collisions += 1
-                self._fail_group(entry)
+                self._resolve_collision(entry, other)
                 return
 
         # Admit: set the h bit and pass the grab onward.
         entry.state = ChunkCommitState.HELD
+        self._after_admit(entry)
+
+    def _collides(self, entry: CstEntry, other: CstEntry) -> bool:
+        """The admission-time incompatibility test (Section 3.2.1).
+
+        A seam for the schedule explorer's mutation harness; the default
+        is exactly the paper's signature-probe test."""
+        return entry.incompatible_with(other)
+
+    def _resolve_collision(self, entry: CstEntry, other: CstEntry) -> None:
+        """``other`` is held here, so the newcomer loses — a module never
+        revokes a group it already admitted (Section 3.2.1).  Also a
+        mutation seam."""
+        self._fail_group(entry)
+
+    def _after_admit(self, entry: CstEntry) -> None:
         entry.inval_acc |= entry.local_sharers
         if entry.leader_here and len(entry.order) == 1:
             self._confirm_group(entry)

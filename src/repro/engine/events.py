@@ -3,13 +3,25 @@
 Components never busy-wait; they schedule a callback at an absolute or
 relative cycle count.  Ties are broken by insertion order, which makes every
 simulation fully deterministic for a given seed and configuration.
+
+Schedule exploration (``repro.analysis.explore``) installs a *tie-breaker*
+hook: when several events are due at the same cycle, the hook picks which
+one runs next instead of the default insertion order.  With no hook
+installed the simulator behaves exactly as before — the hook exists so the
+model checker can systematically reorder same-cycle deliveries without
+touching default determinism.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
+
+#: A tie-breaker receives the batch of live events due at the current
+#: minimal time (in insertion order) and returns the index of the event to
+#: run now; the rest are re-queued untouched.
+TieBreaker = Callable[["List[Event]"], int]
 
 
 @dataclass(order=True)
@@ -18,13 +30,17 @@ class Event:
 
     Events compare by ``(time, seq)`` so that heap ordering is total and
     deterministic.  ``cancelled`` supports O(1) cancellation (the event stays
-    in the heap but is skipped when popped).
+    in the heap but is skipped when popped).  ``tag`` is optional metadata
+    (e.g. which message delivery this is) that schedule exploration uses to
+    decide which same-cycle reorderings are physically meaningful; it never
+    affects ordering.
     """
 
     time: int
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    tag: Any = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when its time arrives."""
@@ -46,21 +62,26 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        #: Exploration hook: picks among same-cycle events (None = default
+        #: insertion order, the fully deterministic seed behaviour).
+        self.tie_breaker: Optional[TieBreaker] = None
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 tag: Any = None) -> Event:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.schedule_at(self.now + int(delay), callback)
+        return self.schedule_at(self.now + int(delay), callback, tag=tag)
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+    def schedule_at(self, time: int, callback: Callable[[], None],
+                    tag: Any = None) -> Event:
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        ev = Event(time=int(time), seq=self._seq, callback=callback)
+        ev = Event(time=int(time), seq=self._seq, callback=callback, tag=tag)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
@@ -74,11 +95,33 @@ class Simulator:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            if self.tie_breaker is not None:
+                ev = self._tie_break(ev)
             self.now = ev.time
             ev.callback()
             self._events_processed += 1
             return True
         return False
+
+    def _tie_break(self, first: Event) -> Event:
+        """Collect every live event due at ``first.time`` and let the
+        tie-breaker choose; the others are re-queued with their original
+        (time, seq) so relative order among them is preserved."""
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                batch.append(ev)
+        if len(batch) == 1:
+            return first
+        assert self.tie_breaker is not None
+        idx = self.tie_breaker(batch)
+        if not 0 <= idx < len(batch):
+            raise IndexError(f"tie-breaker chose {idx} of {len(batch)}")
+        chosen = batch.pop(idx)
+        for ev in batch:
+            heapq.heappush(self._heap, ev)
+        return chosen
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Drain the event queue.
@@ -134,4 +177,4 @@ def drain(sim: Simulator, guard: int = 50_000_000) -> None:
     sim.run(max_events=guard)
 
 
-__all__ = ["Event", "Simulator", "drain"]
+__all__ = ["Event", "Simulator", "TieBreaker", "drain"]

@@ -21,6 +21,7 @@ from repro.network.message import core_node, dir_node
 from repro.network.noc import Network
 from repro.protocols import make_protocol
 from repro.signatures.bulk_signature import SignatureFactory
+from repro.validation.oracle import attach_oracle
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.profiles import AppProfile, get_profile
 
@@ -204,9 +205,13 @@ class SimulationRunner:
             n_partitions=n_partitions, access_scale=access_scale)
 
     def run(self, keep_machine: bool = False,
-            max_events: int = DEFAULT_EVENT_GUARD) -> RunResult:
+            max_events: int = DEFAULT_EVENT_GUARD,
+            oracle: bool = False) -> RunResult:
         machine = Machine(self.config, workload=self.workload)
+        checker = attach_oracle(machine) if oracle else None
         machine.run(max_events=max_events)
+        if checker is not None:
+            checker.assert_clean()
         return machine.result(self.profile.name, self.active_cores,
                               keep_machine=keep_machine)
 
@@ -215,15 +220,20 @@ def run_app(app: str, *, n_cores: int = 16,
             protocol: ProtocolKind = ProtocolKind.SCALABLEBULK,
             active_cores: Optional[int] = None, chunks_per_partition: int = 4,
             n_partitions: Optional[int] = None, access_scale: float = 1.0,
-            keep_machine: bool = False, **config_overrides) -> RunResult:
-    """One-call experiment: build the Table 2 machine and run one app."""
+            keep_machine: bool = False, oracle: bool = False,
+            **config_overrides) -> RunResult:
+    """One-call experiment: build the Table 2 machine and run one app.
+
+    ``oracle=True`` attaches the global invalidation oracle and raises at
+    the end of the run if any commit missed a conflicting chunk.
+    """
     config = SystemConfig(n_cores=n_cores, protocol=protocol,
                           **config_overrides)
     runner = SimulationRunner(
         app, config, active_cores=active_cores,
         chunks_per_partition=chunks_per_partition,
         n_partitions=n_partitions, access_scale=access_scale)
-    return runner.run(keep_machine=keep_machine)
+    return runner.run(keep_machine=keep_machine, oracle=oracle)
 
 
 __all__ = ["DEFAULT_EVENT_GUARD", "Machine", "RunResult", "SimulationRunner",

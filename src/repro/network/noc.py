@@ -19,7 +19,7 @@ for the paper's Figures 18/19.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.engine.events import Simulator
@@ -27,6 +27,10 @@ from repro.network.message import Message, MessageType, NodeRef, TrafficClass
 from repro.network.topology import Torus2D
 
 Handler = Callable[[Message], None]
+
+#: Exploration hook: given (message, model latency) return extra delay
+#: cycles (>= 0) to add before delivery.  See repro.analysis.explore.
+DelayHook = Callable[[Message, int], int]
 
 
 class TrafficStats:
@@ -71,6 +75,12 @@ class Network:
         self._link_free_at: Dict[tuple, int] = {}
         self.stats = TrafficStats()
         self.contention = config.network_contention
+        #: Exploration hook: perturbs delivery latency (None = the exact
+        #: deterministic latency model).  When active, per-(src, dst)
+        #: delivery order is still preserved — real links do not reorder
+        #: packets between the same pair of endpoints.
+        self.delay_hook: Optional[DelayHook] = None
+        self._last_delivery: Dict[Tuple[NodeRef, NodeRef], int] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -101,8 +111,18 @@ class Network:
             raise KeyError(f"no handler registered for destination {msg.dst}")
         msg.sent_at = self.sim.now
         latency, hops = self._transit_time(msg)
+        if self.delay_hook is not None:
+            latency += max(0, int(self.delay_hook(msg, latency)))
+            # No same-pair reordering: a perturbed packet still may not
+            # overtake (or be overtaken by) an earlier one on its flow.
+            flow = (msg.src, msg.dst)
+            deliver_at = max(self.sim.now + latency,
+                             self._last_delivery.get(flow, 0))
+            self._last_delivery[flow] = deliver_at
+            latency = deliver_at - self.sim.now
         self.stats.record(msg, latency, hops)
-        self.sim.schedule(latency, lambda m=msg, h=handler: h(m))
+        self.sim.schedule(latency, lambda m=msg, h=handler: h(m),
+                          tag=("deliver", msg.src, msg.dst, msg.uid))
         return latency
 
     def _transit_time(self, msg: Message) -> tuple:
@@ -148,4 +168,4 @@ class Network:
         return dict(self._link_free_at)
 
 
-__all__ = ["Handler", "Network", "TrafficStats"]
+__all__ = ["DelayHook", "Handler", "Network", "TrafficStats"]

@@ -44,3 +44,32 @@ class TestCli:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "LU", "--protocol", "mesi"])
+
+
+class TestExploreCli:
+    def test_explore_list(self, capsys):
+        assert main(["explore", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cross3" in out and "drop-commit-nack" in out
+
+    def test_explore_single_scenario_clean(self, capsys):
+        assert main(["explore", "--scenario", "pair",
+                     "--schedules", "10"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_explore_catches_mutation_and_replays(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["explore", "--mutate", "skip-w-intersection",
+                     "--schedules", "40", "--save", str(trace)]) == 0
+        assert "caught" in capsys.readouterr().out
+        assert trace.exists()
+        assert main(["explore", "--replay", str(trace)]) == 0
+
+    def test_explore_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--scenario", "nope"])
+
+    def test_run_with_oracle_flag(self, capsys):
+        assert main(["run", "LU", "--cores", "4", "--chunks", "1",
+                     "--oracle"]) == 0
+        assert "LU on 4 cores" in capsys.readouterr().out

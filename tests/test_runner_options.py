@@ -98,3 +98,22 @@ class TestResultAggregation:
     def test_traffic_dict_is_plain(self):
         r = run_app("LU", n_cores=4, chunks_per_partition=1)
         assert all(isinstance(k, str) for k in r.traffic_by_class)
+
+
+class TestOracleOption:
+    def test_oracle_run_is_clean_on_small_app(self):
+        r = run_app("LU", n_cores=4, chunks_per_partition=1, oracle=True)
+        assert r.chunks_committed > 0
+
+    def test_oracle_default_off_matches_oracle_on(self):
+        """The oracle is an observer: enabling it must not change the run."""
+        plain = run_app("LU", n_cores=4, chunks_per_partition=1)
+        checked = run_app("LU", n_cores=4, chunks_per_partition=1,
+                          oracle=True)
+        assert plain.total_cycles == checked.total_cycles
+        assert plain.chunks_committed == checked.chunks_committed
+
+    def test_oracle_applies_to_baseline_protocols_without_error(self):
+        r = run_app("LU", n_cores=4, chunks_per_partition=1,
+                    protocol=ProtocolKind.BULKSC, oracle=True)
+        assert r.chunks_committed > 0
