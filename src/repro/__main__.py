@@ -8,6 +8,7 @@ apps       list the modelled applications and their key parameters
 sweep      full experiment matrix (delegates to repro.harness.sweep)
 lint       protocol linter + determinism static analysis (repro.analysis)
 explore    schedule-exploration model checker (repro.analysis.explore)
+trace      instrumented run: Perfetto/JSONL/CSV export + critical path
 """
 
 from __future__ import annotations
@@ -24,10 +25,30 @@ from repro.workloads.profiles import APP_PROFILES, PARSEC_APPS, SPLASH2_APPS
 PROTO_BY_NAME = {p.value.lower(): p for p in ProtocolKind}
 
 
+def _make_bus(trace_out):
+    """Build an instrumentation bus when ``--trace`` was given."""
+    if not trace_out:
+        return None
+    from repro.obs.bus import InstrumentationBus
+    return InstrumentationBus()
+
+
+def _dump_trace(bus, out: str) -> None:
+    from repro.obs.critical_path import analyze_commit_paths
+    from repro.obs.export import to_perfetto
+
+    doc = to_perfetto(bus, out)
+    print(f"  trace: {len(doc['traceEvents'])} events -> {out} "
+          f"(open in ui.perfetto.dev)")
+    print(analyze_commit_paths(bus).render(limit=5))
+
+
 def _cmd_run(args) -> int:
+    bus = _make_bus(args.trace)
     result = run_app(args.app, n_cores=args.cores,
                      protocol=PROTO_BY_NAME[args.protocol.lower()],
-                     chunks_per_partition=args.chunks, oracle=args.oracle)
+                     chunks_per_partition=args.chunks, oracle=args.oracle,
+                     bus=bus)
     print(f"{args.app} on {args.cores} cores "
           f"({result.protocol.value}): {result.total_cycles:,} cycles, "
           f"{result.chunks_committed} chunks")
@@ -36,6 +57,8 @@ def _cmd_run(args) -> int:
     print(f"  commit latency {result.mean_commit_latency:.1f} cy | "
           f"dirs/commit {result.mean_dirs_per_commit:.2f} | "
           f"squashes {result.squashes_conflict}+{result.squashes_alias}")
+    if bus is not None:
+        _dump_trace(bus, args.trace)
     return 0
 
 
@@ -44,12 +67,22 @@ def _cmd_compare(args) -> int:
     print(f"{'protocol':14s} {'cycles':>10s} {'commit lat':>10s} "
           f"{'commit%':>8s} {'queue':>6s}")
     for proto in ProtocolKind:
+        bus = _make_bus(args.trace)
         r = run_app(args.app, n_cores=args.cores, protocol=proto,
-                    chunks_per_partition=args.chunks, oracle=args.oracle)
+                    chunks_per_partition=args.chunks, oracle=args.oracle,
+                    bus=bus)
         frac = r.breakdown_fractions()
         print(f"{proto.value:14s} {r.total_cycles:10,d} "
               f"{r.mean_commit_latency:10.1f} "
               f"{frac['Commit'] * 100:7.1f}% {r.mean_queue_length:6.2f}")
+        if bus is not None:
+            # one trace file per protocol: base.ext -> base.<proto>.ext
+            from repro.obs.export import to_perfetto
+            root, dot, ext = args.trace.rpartition(".")
+            out = (f"{root}.{proto.value.lower()}.{ext}" if dot
+                   else f"{args.trace}.{proto.value.lower()}")
+            doc = to_perfetto(bus, out)
+            print(f"    trace: {len(doc['traceEvents'])} events -> {out}")
     return 0
 
 
@@ -79,6 +112,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of explore's own flags work
         from repro.analysis.explore import cli as explore_cli
         return explore_cli.main(argv[1:])
+    if argv and argv[0] == "trace":
+        # delegate untouched so all of trace's own flags work
+        from repro.obs import cli as trace_cli
+        return trace_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -92,6 +129,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--oracle", action="store_true",
                        help="attach the invalidation oracle and fail the "
                             "run on any missed conflicting chunk")
+    p_run.add_argument("--trace", metavar="OUT",
+                       help="record an instrumentation trace and write it "
+                            "as Perfetto JSON to OUT")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all four protocols side by side")
@@ -100,6 +140,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_cmp.add_argument("--chunks", type=int, default=3)
     p_cmp.add_argument("--oracle", action="store_true",
                        help="attach the invalidation oracle to every run")
+    p_cmp.add_argument("--trace", metavar="OUT",
+                       help="write one Perfetto trace per protocol "
+                            "(OUT gets a .<protocol> suffix)")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_apps = sub.add_parser("apps", help="list modelled applications")
@@ -111,6 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 "(see python -m repro lint -h)")
     sub.add_parser("explore", help="schedule-exploration model checker "
                                    "(see python -m repro explore -h)")
+    sub.add_parser("trace", help="instrumented run with Perfetto export "
+                                 "(see python -m repro trace -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -122,7 +122,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--ci-smoke", action="store_true",
                         help="bounded CI tier: clean sweep + mutation suite")
     parser.add_argument("--replay", default=None, metavar="TRACE",
-                        help="re-run a saved trace and check it reproduces")
+                        help="re-run a saved trace and check it reproduces; "
+                             "the replay is instrumented and its commit "
+                             "critical path reported")
+    parser.add_argument("--trace", default=None, metavar="OUT",
+                        help="with --replay: also write a Perfetto trace "
+                             "of the replayed run to OUT")
     parser.add_argument("--save", default=None, metavar="PATH",
                         help="write the (minimized) failing trace here")
     parser.add_argument("--no-minimize", dest="minimize",
@@ -147,12 +152,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.replay:
+        from repro.obs.bus import InstrumentationBus
+        from repro.obs.critical_path import analyze_commit_paths
         data = load_trace(args.replay)
-        result = replay_trace(data)
+        bus = InstrumentationBus()
+        result = replay_trace(data, bus=bus)
         want = [str(v["code"]) for v in data.get("violations", ())]
         got = result.codes
         print(f"replay of {args.replay}: expected {want or 'clean'}, "
               f"got {got or 'clean'}")
+        print(analyze_commit_paths(bus).render())
+        if args.trace:
+            from repro.obs.export import to_perfetto
+            doc = to_perfetto(bus, args.trace)
+            print(f"trace: {len(doc['traceEvents'])} events -> {args.trace} "
+                  f"(open in ui.perfetto.dev)")
         ok = (want[0] in got) if want else not got
         return 0 if ok else 1
 

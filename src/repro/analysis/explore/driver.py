@@ -16,6 +16,7 @@ from repro.analysis.explore.invariants import ExploreViolation, InvariantMonitor
 from repro.analysis.explore.mutations import Mutation
 from repro.analysis.explore.scenarios import Scenario, build_machine
 from repro.engine.rng import DeterministicRng
+from repro.obs.bus import InstrumentationBus, attach_bus
 
 
 @dataclass
@@ -50,11 +51,19 @@ def run_schedule(scenario: Scenario,
                  tie_rng: Optional[DeterministicRng] = None,
                  delay_rng: Optional[DeterministicRng] = None,
                  delay_prob: float = 0.15,
-                 max_delay: int = 24) -> ScheduleResult:
-    """Build, patch, monitor, run — and collect what happened."""
+                 max_delay: int = 24,
+                 bus: Optional[InstrumentationBus] = None) -> ScheduleResult:
+    """Build, patch, monitor, run — and collect what happened.
+
+    ``bus`` attaches an instrumentation bus (repro.obs) to the freshly
+    built machine, so a replayed counterexample can be traced and its
+    commit critical path analyzed.
+    """
     machine = build_machine(scenario)
     if mutation is not None:
         mutation.apply(machine)
+    if bus is not None:
+        attach_bus(machine, bus)
     monitor = InvariantMonitor(machine,
                                expected_per_core=scenario.chunks_per_core)
     controller = ScheduleController(

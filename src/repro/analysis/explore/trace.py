@@ -8,12 +8,13 @@ needs nothing but the file.  ``version`` guards the format.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.analysis.explore.controller import Schedule
 from repro.analysis.explore.driver import ScheduleResult, run_schedule
 from repro.analysis.explore.mutations import MUTATIONS
 from repro.analysis.explore.scenarios import Scenario
+from repro.obs.bus import InstrumentationBus
 
 TRACE_VERSION = 1
 
@@ -51,8 +52,13 @@ def load_trace(path: str) -> Dict[str, Any]:
     return data
 
 
-def replay_trace(data: Dict[str, Any]) -> ScheduleResult:
-    """Re-run a loaded trace's schedule on its scenario (and mutation)."""
+def replay_trace(data: Dict[str, Any],
+                 bus: Optional[InstrumentationBus] = None) -> ScheduleResult:
+    """Re-run a loaded trace's schedule on its scenario (and mutation).
+
+    ``bus`` attaches an instrumentation bus so the replay can be exported
+    and critical-path analyzed (``repro explore --replay ... --trace``).
+    """
     scenario = Scenario.from_json(data["scenario"])
     mutation_name = data.get("mutation")
     mutation = None
@@ -61,7 +67,7 @@ def replay_trace(data: Dict[str, Any]) -> ScheduleResult:
         if mutation is None:
             raise ValueError(f"trace names unknown mutation {mutation_name!r}")
     schedule = Schedule.from_json(data["schedule"])
-    return run_schedule(scenario, schedule, mutation)
+    return run_schedule(scenario, schedule, mutation, bus=bus)
 
 
 __all__ = ["TRACE_VERSION", "load_trace", "replay_trace", "save_trace",

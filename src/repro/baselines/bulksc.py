@@ -27,6 +27,7 @@ from repro.memory.directory import DirectoryModule
 from repro.network.message import (
     Message, MessageType, arbiter_node, core_node, dir_node,
 )
+from repro.obs.bus import NULL_BUS, NullBus
 from repro.protocols.base import Protocol, ProcessorEngine
 
 
@@ -68,6 +69,7 @@ class BulkSCArbiter:
         self._busy_until = 0
         self.requests = 0
         self.nacks = 0
+        self.obs: NullBus = NULL_BUS  #: instrumentation sink (repro.obs)
 
     def handle_message(self, msg: Message) -> None:
         if msg.mtype is MessageType.BSC_COMMIT_REQ:
@@ -96,9 +98,15 @@ class BulkSCArbiter:
         for other in sorted(self.in_flight.values(), key=_in_flight_scan_key):
             if self._conflicts(w_sig, r_sig, write_lines, other):
                 self.nacks += 1
+                if self.obs.enabled:
+                    self.obs.arbiter_decision(self.sim.now, cid, False,
+                                              len(self.in_flight))
                 self.network.unicast(MessageType.BSC_NACK, self.node,
                                      core_node(proc), ctag=cid)
                 return
+        if self.obs.enabled:
+            self.obs.arbiter_decision(self.sim.now, cid, True,
+                                      len(self.in_flight))
         dirs = msg.payload["dirs"]
         self.in_flight[cid] = _InFlight(cid, proc, w_sig, r_sig, write_lines,
                                         set(dirs))
@@ -262,6 +270,9 @@ class BulkSCEngine(ProcessorEngine):
         self._current_chunk = None
         # BulkSC semantics: the arbiter's OK orders the chunk; the
         # invalidations complete in the background.
+        if self.obs.enabled:
+            self.obs.group_formed(self.sim.now, None, msg.ctag,
+                                  self.core.core_id, sorted(chunk.dirs))
         self.stats.attempt_group_formed(msg.ctag)
         self.finish_commit_success(chunk)
 

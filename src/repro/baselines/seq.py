@@ -70,6 +70,9 @@ class SeqDirectory(DirectoryModule):
             self._grant(cid, proc)
         else:
             self.queue.append((cid, proc))
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id,
+                                   len(self.queue) + 1)
 
     def _grant(self, cid, proc: int) -> None:
         self.occupant = cid
@@ -147,6 +150,10 @@ class SeqDirectory(DirectoryModule):
         if self.queue:
             cid, proc = self.queue.popleft()
             self._grant(cid, proc)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(
+                self.sim.now, self.dir_id,
+                len(self.queue) + (1 if self.occupant is not None else 0))
 
 
 class SeqEngine(ProcessorEngine):
@@ -199,6 +206,9 @@ class SeqEngine(ProcessorEngine):
             self._occupy_next()
             return
         # Everything occupied: the SEQ analog of "group formed".
+        if self.obs.enabled:
+            self.obs.group_formed(self.sim.now, None, msg.ctag,
+                                  self.core.core_id, self._order)
         self.stats.attempt_group_formed(msg.ctag)
         chunk = self._current_chunk
         write_lines = frozenset(chunk.write_lines)

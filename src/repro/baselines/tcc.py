@@ -131,6 +131,9 @@ class TCCDirectory(DirectoryModule):
             info = {"cid": msg.ctag, "proc": msg.payload["proc"], "tid": tid,
                     "n_marks": msg.payload.get("n_marks", 0)}
             self.pending[tid] = ("probe", info)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id,
+                                   len(self.queued_cids()))
         self._advance()
 
     def _on_skip(self, msg: Message) -> None:
@@ -228,6 +231,9 @@ class TCCDirectory(DirectoryModule):
         self.busy_with = None
         self.expected_tid = active["tid"] + 1
         self.commits_serviced += 1
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id,
+                                   len(self.queued_cids()))
         self.network.unicast(MessageType.TCC_DIR_DONE, self.node,
                              core_node(active["proc"]), ctag=active["cid"],
                              dir_id=self.dir_id)
@@ -308,6 +314,11 @@ class TCCEngine(ProcessorEngine):
         """A directory began servicing our probe: the 'group formed' analog."""
         if cid == self._current_cid and not self._first_service_seen:
             self._first_service_seen = True
+            if self.obs.enabled:
+                chunk = self._current_chunk
+                dirs = sorted(chunk.dirs) if chunk is not None else []
+                self.obs.group_formed(self.sim.now, None, cid,
+                                      self.core.core_id, dirs)
             self.stats.attempt_group_formed(cid)
 
     def _on_dir_done(self, msg: Message) -> None:

@@ -121,6 +121,8 @@ class ScalableBulkDirectory(DirectoryModule):
         local_share = max(1, len(entry.write_lines) // max(1, len(entry.order)))
         delay = (self.config.signature_expand_cycles
                  + self.config.dir_line_update_cycles * local_share // 2)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         self.sim.schedule(delay, lambda: self._expansion_done(cid))
 
     def _expansion_done(self, cid: CommitId) -> None:
@@ -161,6 +163,9 @@ class ScalableBulkDirectory(DirectoryModule):
         entry.inval_acc |= msg.payload["inval_vec"]
         if not entry.order:
             entry.order = msg.payload["order"]
+        if self.obs.enabled:
+            self.obs.grab_recv(self.sim.now, self.dir_id, cid)
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         self._maybe_advance(entry)
 
     # ------------------------------------------------------------------
@@ -217,9 +222,14 @@ class ScalableBulkDirectory(DirectoryModule):
     def _after_admit(self, entry: CstEntry) -> None:
         entry.inval_acc |= entry.local_sharers
         if entry.leader_here and len(entry.order) == 1:
+            if self.obs.enabled:
+                self.obs.grab_admit(self.sim.now, self.dir_id, entry.cid,
+                                    None)
             self._confirm_group(entry)
             return
         nxt = successor(entry.order, self.dir_id)
+        if self.obs.enabled:
+            self.obs.grab_admit(self.sim.now, self.dir_id, entry.cid, nxt)
         self.network.unicast(
             MessageType.G, self.node, dir_node(nxt), ctag=entry.cid,
             inval_vec=set(entry.inval_acc), order=entry.order,
@@ -231,6 +241,9 @@ class ScalableBulkDirectory(DirectoryModule):
     def _confirm_group(self, entry: CstEntry) -> None:
         entry.state = ChunkCommitState.CONFIRMED
         self.groups_formed += 1
+        if self.obs.enabled:
+            self.obs.group_formed(self.sim.now, self.dir_id, entry.cid,
+                                  entry.proc, entry.order)
         members = [d for d in entry.order if d != self.dir_id]
         if members:
             self.network.multicast(
@@ -286,6 +299,8 @@ class ScalableBulkDirectory(DirectoryModule):
             return
         self.protocol.stats.bulk_inv_nacks += 1
         proc = msg.payload["proc"]
+        if self.obs.enabled:
+            self.obs.dir_nack(self.sim.now, self.dir_id, msg.ctag, proc)
         entry.nack_retries += 1
         base = self.config.nack_retry_backoff_cycles
         jitter = (entry.nack_retries * 11 + self.dir_id * 5) % (2 * base)
@@ -302,6 +317,8 @@ class ScalableBulkDirectory(DirectoryModule):
 
     def _finish_commit(self, entry: CstEntry) -> None:
         """All acks in: release the group and route any recalls (Fig. 5b)."""
+        if self.obs.enabled:
+            self.obs.commit_finished(self.sim.now, self.dir_id, entry.cid)
         members = [d for d in entry.order if d != self.dir_id]
         if members:
             self.network.multicast(
@@ -314,6 +331,8 @@ class ScalableBulkDirectory(DirectoryModule):
         entry = self.cst.pop(msg.ctag, None)
         if entry is None:
             return
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         self._release_reservation(entry.cid)
         for recall in msg.payload.get("recalls", ()):
             if recall.get("collision_dir") == self.dir_id:
@@ -321,6 +340,8 @@ class ScalableBulkDirectory(DirectoryModule):
 
     def _deallocate_after_commit(self, entry: CstEntry, recalls) -> None:
         self.cst.pop(entry.cid, None)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         self._release_reservation(entry.cid)
         for recall in recalls:
             if recall.get("collision_dir") == self.dir_id:
@@ -345,8 +366,13 @@ class ScalableBulkDirectory(DirectoryModule):
         """
         self.groups_failed += 1
         cid = entry.cid
+        if self.obs.enabled:
+            self.obs.group_failed(self.sim.now, self.dir_id, cid, entry.proc,
+                                  genuine, entry.leader_here)
         self.cst.pop(cid, None)
         self.failed_cids.add(cid)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         if genuine:
             self._note_failure(cid)
         members = [d for d in entry.order if d != self.dir_id]
@@ -366,6 +392,8 @@ class ScalableBulkDirectory(DirectoryModule):
         if msg.payload.get("genuine", True):
             self._note_failure(cid)
         entry = self.cst.pop(cid, None)
+        if self.obs.enabled:
+            self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         if entry is not None and entry.leader_here and entry.got_request:
             self.network.unicast(
                 MessageType.COMMIT_FAILURE, self.node,

@@ -152,6 +152,9 @@ class ScalableBulkEngine(ProcessorEngine):
             self._pending_squash_lines = set(write_lines)
             self._check_younger_conflicts(write_lines)
             return None
+        if self.obs.enabled:
+            self.obs.oci_recall(self.sim.now, self.core.core_id,
+                                failed_cid, coll)
         self.stats.attempt_finished(failed_cid, success=False)
         self.squash(head, write_lines)
         self._clear_current()

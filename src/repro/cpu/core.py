@@ -41,6 +41,7 @@ from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.page_map import PageMapper
 from repro.network.message import MessageType, core_node, dir_node
 from repro.network.noc import Network
+from repro.obs.bus import NULL_BUS, NullBus
 from repro.signatures.bulk_signature import SignatureFactory
 
 
@@ -104,6 +105,7 @@ class Core:
         self.hierarchy = CacheHierarchy(core_id, config, self._send_writeback)
         self.stats = CoreStats()
         self.engine = None  #: protocol processor engine, attached by the runner
+        self.obs: NullBus = NULL_BUS  #: instrumentation sink (repro.obs)
 
         self._exec: Optional[_ExecCtx] = None
         self._epoch = 0
@@ -165,6 +167,8 @@ class Core:
         self._epoch += 1
         self._exec = _ExecCtx(chunk, self._epoch)
         self.stats.chunks_started += 1
+        if self.obs.enabled:
+            self.obs.exec_start(self.sim.now, self.core_id, chunk.tag)
         self._run_burst()
 
     def _pull_next_chunk(self) -> Optional[Chunk]:
@@ -305,6 +309,8 @@ class Core:
         chunk = ctx.chunk
         chunk.state = ChunkState.WAIT_COMMIT
         chunk.exec_done_time = self.sim.now
+        if self.obs.enabled:
+            self.obs.exec_done(self.sim.now, self.core_id, chunk.tag)
         # Bank the attempt's cycles on the chunk; they move to core stats
         # only when the chunk commits (squashes waste them instead).
         chunk.acc_useful = ctx.acc_useful
@@ -333,6 +339,9 @@ class Core:
         self._commit_queue.pop(0)
         chunk.state = ChunkState.COMMITTED
         chunk.commit_done_time = self.sim.now
+        if self.obs.enabled:
+            self.obs.commit_complete(self.sim.now, self.core_id, chunk.tag,
+                                     len(chunk.dirs))
         self.hierarchy.commit_chunk(chunk.tag)
         self.stats.useful_cycles += chunk.acc_useful
         self.stats.miss_stall_cycles += chunk.acc_miss
@@ -365,7 +374,10 @@ class Core:
         if not victims:
             return []
 
+        reason = "conflict" if true_conflict else "alias"
         for i, c in enumerate(victims):
+            if self.obs.enabled:
+                self.obs.squash(self.sim.now, self.core_id, c.tag, reason)
             end = c.exec_done_time if c.exec_done_time >= 0 else self.sim.now
             if c.state is ChunkState.EXECUTING:
                 end = self.sim.now

@@ -18,6 +18,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs.bus import NULL_BUS, NullBus
+
 #: A tie-breaker receives the batch of live events due at the current
 #: minimal time (in insertion order) and returns the index of the event to
 #: run now; the rest are re-queued untouched.
@@ -65,6 +67,9 @@ class Simulator:
         #: Exploration hook: picks among same-cycle events (None = default
         #: insertion order, the fully deterministic seed behaviour).
         self.tie_breaker: Optional[TieBreaker] = None
+        #: Instrumentation sink (repro.obs); the null bus makes every hook
+        #: a guarded no-op, so the default run schedules nothing extra.
+        self.obs: NullBus = NULL_BUS
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -98,6 +103,8 @@ class Simulator:
             if self.tie_breaker is not None:
                 ev = self._tie_break(ev)
             self.now = ev.time
+            if self.obs.enabled:
+                self.obs.sim_step(ev.time, len(self._heap))
             ev.callback()
             self._events_processed += 1
             return True

@@ -19,6 +19,7 @@ from repro.memory.directory import LineInfo
 from repro.memory.page_map import PageMapper
 from repro.network.message import core_node, dir_node
 from repro.network.noc import Network
+from repro.obs.bus import InstrumentationBus, attach_bus
 from repro.protocols import make_protocol
 from repro.signatures.bulk_signature import SignatureFactory
 from repro.validation.oracle import attach_oracle
@@ -206,8 +207,11 @@ class SimulationRunner:
 
     def run(self, keep_machine: bool = False,
             max_events: int = DEFAULT_EVENT_GUARD,
-            oracle: bool = False) -> RunResult:
+            oracle: bool = False,
+            bus: Optional[InstrumentationBus] = None) -> RunResult:
         machine = Machine(self.config, workload=self.workload)
+        if bus is not None:
+            attach_bus(machine, bus)
         checker = attach_oracle(machine) if oracle else None
         machine.run(max_events=max_events)
         if checker is not None:
@@ -221,11 +225,13 @@ def run_app(app: str, *, n_cores: int = 16,
             active_cores: Optional[int] = None, chunks_per_partition: int = 4,
             n_partitions: Optional[int] = None, access_scale: float = 1.0,
             keep_machine: bool = False, oracle: bool = False,
+            bus: Optional[InstrumentationBus] = None,
             **config_overrides) -> RunResult:
     """One-call experiment: build the Table 2 machine and run one app.
 
     ``oracle=True`` attaches the global invalidation oracle and raises at
     the end of the run if any commit missed a conflicting chunk.
+    ``bus`` attaches an instrumentation bus (repro.obs) before the run.
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol,
                           **config_overrides)
@@ -233,7 +239,7 @@ def run_app(app: str, *, n_cores: int = 16,
         app, config, active_cores=active_cores,
         chunks_per_partition=chunks_per_partition,
         n_partitions=n_partitions, access_scale=access_scale)
-    return runner.run(keep_machine=keep_machine, oracle=oracle)
+    return runner.run(keep_machine=keep_machine, oracle=oracle, bus=bus)
 
 
 __all__ = ["DEFAULT_EVENT_GUARD", "Machine", "RunResult", "SimulationRunner",

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import ProtocolKind, SystemConfig
 from repro.harness.runner import SimulationRunner
 from repro.harness.tables import TRAFFIC_ORDER, normalize_traffic
+from repro.obs.bus import InstrumentationBus
+from repro.obs.critical_path import analyze_commit_paths
 from repro.workloads.profiles import PARSEC_APPS, SPLASH2_APPS
 
 PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC, ProtocolKind.SEQ,
@@ -32,19 +34,21 @@ PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC, ProtocolKind.SEQ,
 
 def run_one(app: str, n_cores: int, protocol: ProtocolKind,
             chunks: int, active_cores: Optional[int] = None,
-            n_partitions: Optional[int] = None) -> dict:
+            n_partitions: Optional[int] = None,
+            bus: Optional[InstrumentationBus] = None) -> dict:
     """One simulation -> a JSON-serializable record.
 
     ``n_partitions`` fixes the total work across machine sizes (strong
     scaling): every run of one application must use the same partition
-    count or speedups are meaningless.
+    count or speedups are meaningless.  ``bus`` optionally instruments
+    the run (used by ``--critical-paths``).
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol)
     runner = SimulationRunner(app, config, active_cores=active_cores,
                               chunks_per_partition=chunks,
                               n_partitions=n_partitions)
     t0 = time.time()
-    result = runner.run(keep_machine=True)
+    result = runner.run(keep_machine=True, bus=bus)
     stats = result.machine.protocol.stats
     record = {
         "app": app,
@@ -80,17 +84,40 @@ def key_of(app: str, n_cores: int, protocol: str, active: int) -> str:
 
 def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
             cache_path: Optional[Path] = None,
-            log=print) -> Dict[str, dict]:
-    """Run the matrix, reusing any cached records."""
+            log=print,
+            critical_paths_path: Optional[Path] = None) -> Dict[str, dict]:
+    """Run the matrix, reusing any cached records.
+
+    ``critical_paths_path`` additionally instruments every fresh run and
+    writes a per-configuration commit critical-path summary (phase-latency
+    breakdown, per-directory hop dwell) there.  Records already cached
+    keep whatever summary they had — only new runs gain one.
+    """
     records: Dict[str, dict] = {}
     if cache_path and cache_path.exists():
         records = json.loads(cache_path.read_text())
         log(f"loaded {len(records)} cached records from {cache_path}")
+    cpaths: Dict[str, dict] = {}
+    if critical_paths_path and critical_paths_path.exists():
+        cpaths = json.loads(critical_paths_path.read_text())
 
     def save() -> None:
         if cache_path:
             cache_path.parent.mkdir(parents=True, exist_ok=True)
             cache_path.write_text(json.dumps(records))
+        if critical_paths_path and cpaths:
+            critical_paths_path.parent.mkdir(parents=True, exist_ok=True)
+            critical_paths_path.write_text(
+                json.dumps(cpaths, indent=2, sort_keys=True))
+
+    def make_bus() -> Optional[InstrumentationBus]:
+        if critical_paths_path is None:
+            return None
+        return InstrumentationBus(record_messages=False)
+
+    def finish(key: str, bus: Optional[InstrumentationBus]) -> None:
+        if bus is not None:
+            cpaths[key] = analyze_commit_paths(bus).summary()
 
     big = max(core_counts)
     total = len(apps) * (1 + len(core_counts) * len(PROTOCOLS))
@@ -101,8 +128,11 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
         # run of the app executes the identical total work
         k = key_of(app, big, "baseline1p", 1)
         if k not in records:
+            bus = make_bus()
             records[k] = run_one(app, big, ProtocolKind.SCALABLEBULK,
-                                 chunks, active_cores=1, n_partitions=big)
+                                 chunks, active_cores=1, n_partitions=big,
+                                 bus=bus)
+            finish(k, bus)
             save()
         done += 1
         log(f"[{done}/{total}] {k}: {records[k]['total_cycles']} cycles "
@@ -111,8 +141,10 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
             for proto in PROTOCOLS:
                 k = key_of(app, n, proto.value, n)
                 if k not in records:
+                    bus = make_bus()
                     records[k] = run_one(app, n, proto, chunks,
-                                         n_partitions=big)
+                                         n_partitions=big, bus=bus)
+                    finish(k, bus)
                     save()
                 done += 1
                 log(f"[{done}/{total}] {k}: "
@@ -339,6 +371,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=Path("results/experiments.md"))
     parser.add_argument("--quick", action="store_true",
                         help="16-core, 4-app smoke sweep")
+    parser.add_argument("--critical-paths", action="store_true",
+                        help="instrument every run and write per-config "
+                             "commit critical-path summaries next to the "
+                             "JSON cache (critical_paths.json)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -346,13 +382,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.apps = ["Radix", "LU", "Barnes", "Canneal"]
         args.chunks = 2
 
+    cp_path = (args.json.parent / "critical_paths.json"
+               if args.critical_paths else None)
     records = collect(args.apps, args.cores, args.chunks,
-                      cache_path=args.json)
+                      cache_path=args.json, critical_paths_path=cp_path)
     md = render_markdown(records, args.apps, args.cores, args.chunks)
     args.markdown.parent.mkdir(parents=True, exist_ok=True)
     args.markdown.write_text(md)
     print(f"\nwrote {args.markdown} ({len(md.splitlines())} lines), "
           f"raw records in {args.json}")
+    if cp_path is not None:
+        print(f"critical-path summaries in {cp_path}")
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.config import SystemConfig
 from repro.engine.events import Simulator
 from repro.network.message import Message, MessageType, NodeRef, core_node, dir_node
 from repro.network.noc import Network
+from repro.obs.bus import NULL_BUS, NullBus
 
 
 @dataclass
@@ -46,6 +47,7 @@ class DirectoryModule:
         self.sim = sim
         self.network = network
         self.node = dir_node(dir_id)
+        self.obs: NullBus = NULL_BUS  #: instrumentation sink (repro.obs)
         self.lines: Dict[int, LineInfo] = {}
         # statistics
         self.read_requests = 0

@@ -25,6 +25,7 @@ from repro.config import SystemConfig
 from repro.engine.events import Simulator
 from repro.network.message import Message, MessageType, NodeRef, TrafficClass
 from repro.network.topology import Torus2D
+from repro.obs.bus import NULL_BUS, NullBus
 
 Handler = Callable[[Message], None]
 
@@ -81,6 +82,8 @@ class Network:
         #: packets between the same pair of endpoints.
         self.delay_hook: Optional[DelayHook] = None
         self._last_delivery: Dict[Tuple[NodeRef, NodeRef], int] = {}
+        #: Instrumentation sink (repro.obs); null bus = zero overhead.
+        self.obs: NullBus = NULL_BUS
 
     # ------------------------------------------------------------------
     # Wiring
@@ -121,8 +124,21 @@ class Network:
             self._last_delivery[flow] = deliver_at
             latency = deliver_at - self.sim.now
         self.stats.record(msg, latency, hops)
-        self.sim.schedule(latency, lambda m=msg, h=handler: h(m),
-                          tag=("deliver", msg.src, msg.dst, msg.uid))
+        if self.obs.enabled:
+            # Same (time, seq, tag) as the uninstrumented path: the only
+            # difference is the recv hook firing inside the delivery.
+            self.obs.msg_send(self.sim.now, msg, latency, hops)
+            obs = self.obs
+
+            def _deliver(m: Message = msg, h: Handler = handler) -> None:
+                obs.msg_recv(self.sim.now, m)
+                h(m)
+
+            self.sim.schedule(latency, _deliver,
+                              tag=("deliver", msg.src, msg.dst, msg.uid))
+        else:
+            self.sim.schedule(latency, lambda m=msg, h=handler: h(m),
+                              tag=("deliver", msg.src, msg.dst, msg.uid))
         return latency
 
     def _transit_time(self, msg: Message) -> tuple:

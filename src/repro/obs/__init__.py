@@ -1,0 +1,26 @@
+"""Unified observability layer: instrumentation bus, gauges, exporters.
+
+See ``docs/observability.md`` for the hook-point catalog and a Perfetto
+walkthrough.  The package replaces the method-wrapping ``ChunkTracer``
+(:mod:`repro.tracing`, now a thin compatibility shim) with typed emit
+calls built into the simulator, NoC, cores, directory engines and
+baseline protocols — all behind a null-sink fast path so an
+uninstrumented run is byte-identical to one with no tracing at all.
+"""
+
+from repro.obs.bus import (
+    NULL_BUS, InstrumentationBus, NullBus, ObsEvent, attach_bus, ctag_str,
+)
+from repro.obs.critical_path import (
+    CommitPath, CriticalPathReport, analyze_commit_paths,
+)
+from repro.obs.export import to_csv, to_jsonl, to_perfetto, validate_perfetto
+from repro.obs.gauges import GaugeSet, RingSeries
+
+__all__ = [
+    "NULL_BUS", "NullBus", "InstrumentationBus", "ObsEvent",
+    "attach_bus", "ctag_str",
+    "CommitPath", "CriticalPathReport", "analyze_commit_paths",
+    "to_csv", "to_jsonl", "to_perfetto", "validate_perfetto",
+    "GaugeSet", "RingSeries",
+]

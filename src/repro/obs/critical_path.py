@@ -1,0 +1,256 @@
+"""Commit critical-path analyzer: where did each commit's cycles go?
+
+Reconstructs every commit attempt recorded on an
+:class:`~repro.obs.bus.InstrumentationBus` as
+
+    request --> per-hop grab circulation --> group formed --> completion
+
+and attributes latency to each phase (paper Figs. 13-17 are aggregate
+views of exactly these phases):
+
+``request``
+    commit_request leaving the processor until the first directory module
+    admits the group (sets its h bit).  Covers the NoC flight of the
+    request plus signature expansion at the first module.
+``circulation``
+    first admission until the group is formed at the leader — the ``g``
+    grab message circulating through the group's directory order.  The
+    per-hop breakdown attributes this span to individual modules:
+    ``hops[i].dwell`` is the time from the previous admission (or the
+    request, for the first hop) to module ``hops[i].dir`` admitting.
+``completion``
+    group formed until the processor retires the chunk
+    (bulk invalidations, acks, commit_success flight).
+
+Attempts that never form a group are classified ``failed`` (collision /
+reservation / recall) or ``squashed`` (killed by an invalidation);
+attempts still in flight when the run ends are ``unresolved``.  Baseline
+protocols (BulkSC / TCC / SEQ) have no grab circulation: their attempts
+show an empty hop list and the request phase runs to group formation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.bus import (
+    COMMIT_COMPLETE, COMMIT_REQUEST, COMMIT_RETRY, GRAB_ADMIT, GROUP_FAILED,
+    GROUP_FORMED, SQUASH, InstrumentationBus, ObsEvent, ctag_str,
+)
+
+#: Outcome classification for one commit attempt.
+COMMITTED = "committed"
+FAILED = "failed"
+SQUASHED = "squashed"
+UNRESOLVED = "unresolved"
+
+
+@dataclass
+class Hop:
+    """One directory module's admission on the grab circulation path."""
+
+    dir_id: int
+    admit_time: int
+    dwell: int  #: cycles since the previous admission (or the request)
+
+    def to_json(self) -> Dict[str, int]:
+        return {"dir": self.dir_id, "admit_time": self.admit_time,
+                "dwell": self.dwell}
+
+
+@dataclass
+class CommitPath:
+    """The reconstructed critical path of one commit attempt."""
+
+    cid: Any
+    core: int
+    dirs: List[int]
+    request_time: int
+    hops: List[Hop] = field(default_factory=list)
+    formed_time: Optional[int] = None
+    formed_dir: Optional[int] = None     #: leader module (None = agent)
+    complete_time: Optional[int] = None
+    outcome: str = UNRESOLVED
+
+    # -- phase latencies ------------------------------------------------
+    @property
+    def request_latency(self) -> Optional[int]:
+        if self.hops:
+            return self.hops[0].admit_time - self.request_time
+        if self.formed_time is not None:
+            return self.formed_time - self.request_time
+        if self.complete_time is not None:  # trivial commit: no group
+            return self.complete_time - self.request_time
+        return None
+
+    @property
+    def circulation_latency(self) -> Optional[int]:
+        if not self.hops or self.formed_time is None:
+            return None
+        return self.formed_time - self.hops[0].admit_time
+
+    @property
+    def completion_latency(self) -> Optional[int]:
+        if self.formed_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.formed_time
+
+    @property
+    def total_latency(self) -> Optional[int]:
+        end = self.complete_time
+        if end is None and self.formed_time is not None:
+            end = self.formed_time
+        return None if end is None else end - self.request_time
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cid": ctag_str(self.cid),
+            "core": self.core,
+            "dirs": self.dirs,
+            "outcome": self.outcome,
+            "request_time": self.request_time,
+            "formed_time": self.formed_time,
+            "formed_dir": self.formed_dir,
+            "complete_time": self.complete_time,
+            "request_latency": self.request_latency,
+            "circulation_latency": self.circulation_latency,
+            "completion_latency": self.completion_latency,
+            "total_latency": self.total_latency,
+            "hops": [h.to_json() for h in self.hops],
+        }
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class CriticalPathReport:
+    """All commit attempts of a run, with aggregate phase attribution."""
+
+    paths: List[CommitPath]
+
+    def committed(self) -> List[CommitPath]:
+        return [p for p in self.paths if p.outcome == COMMITTED]
+
+    def summary(self) -> Dict[str, Any]:
+        done = self.committed()
+        dwell: Dict[int, List[int]] = {}
+        for p in done:
+            for hop in p.hops[1:]:  # hop 0's dwell is the request phase
+                dwell.setdefault(hop.dir_id, []).append(hop.dwell)
+        outcomes: Dict[str, int] = {}
+        for p in self.paths:
+            outcomes[p.outcome] = outcomes.get(p.outcome, 0) + 1
+        return {
+            "attempts": len(self.paths),
+            "outcomes": outcomes,
+            "mean_request": _mean(
+                [p.request_latency for p in done
+                 if p.request_latency is not None]),
+            "mean_circulation": _mean(
+                [p.circulation_latency for p in done
+                 if p.circulation_latency is not None]),
+            "mean_completion": _mean(
+                [p.completion_latency for p in done
+                 if p.completion_latency is not None]),
+            "mean_total": _mean(
+                [p.total_latency for p in done
+                 if p.total_latency is not None]),
+            "mean_hop_dwell_by_dir": {
+                f"dir{d}": _mean(v) for d, v in sorted(dwell.items())},
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"summary": self.summary(),
+                "paths": [p.to_json() for p in self.paths]}
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable per-attempt breakdown plus the aggregate line."""
+        s = self.summary()
+        lines = [
+            f"commit critical path: {s['attempts']} attempts, "
+            f"outcomes {s['outcomes']}",
+            f"  mean committed latency: request {s['mean_request']:.1f} + "
+            f"circulation {s['mean_circulation']:.1f} + "
+            f"completion {s['mean_completion']:.1f} "
+            f"= {s['mean_total']:.1f} cy",
+        ]
+        shown = self.paths[:limit]
+        for p in shown:
+            hops = "".join(
+                f" ->d{h.dir_id}(+{h.dwell})" for h in p.hops)
+            lines.append(
+                f"  {str(ctag_str(p.cid)):16s} core{p.core} {p.outcome:10s} "
+                f"t={p.request_time}{hops}"
+                + (f" formed@{p.formed_time}" if p.formed_time is not None
+                   else "")
+                + (f" done@{p.complete_time}"
+                   if p.complete_time is not None else ""))
+        if len(self.paths) > limit:
+            lines.append(f"  ... {len(self.paths) - limit} more attempts "
+                         f"(use to_json() for all)")
+        return "\n".join(lines)
+
+
+def analyze_commit_paths(bus: InstrumentationBus) -> CriticalPathReport:
+    """Reconstruct every commit attempt recorded on ``bus``."""
+    return analyze_events(bus.events)
+
+
+def analyze_events(events: List[ObsEvent]) -> CriticalPathReport:
+    paths: Dict[Any, CommitPath] = {}        # keyed by cid, insertion order
+    complete_by_tag: Dict[Any, int] = {}
+    squash_by_tag: Dict[Any, int] = {}
+    last_attempt: Dict[Any, Any] = {}        # tag -> latest cid seen
+
+    for ev in events:
+        if ev.kind == COMMIT_COMPLETE:
+            complete_by_tag.setdefault(ev.ctag, ev.time)
+        elif ev.kind == SQUASH:
+            squash_by_tag.setdefault(ev.ctag, ev.time)
+
+    for ev in events:
+        cid = ev.ctag
+        if ev.kind == COMMIT_REQUEST:
+            if cid not in paths:
+                paths[cid] = CommitPath(
+                    cid=cid, core=ev.fields["core"],
+                    dirs=list(ev.fields["dirs"]), request_time=ev.time)
+                if isinstance(cid, tuple):
+                    last_attempt[cid[0]] = cid
+        elif ev.kind == GRAB_ADMIT:
+            path = paths.get(cid)
+            if path is not None and path.formed_time is None:
+                prev = (path.hops[-1].admit_time if path.hops
+                        else path.request_time)
+                path.hops.append(Hop(dir_id=ev.fields["dir"],
+                                     admit_time=ev.time,
+                                     dwell=ev.time - prev))
+        elif ev.kind == GROUP_FORMED:
+            path = paths.get(cid)
+            if path is not None and path.formed_time is None:
+                path.formed_time = ev.time
+                path.formed_dir = ev.fields["dir"]
+        elif ev.kind in (GROUP_FAILED, COMMIT_RETRY):
+            path = paths.get(cid)
+            if path is not None and path.outcome == UNRESOLVED:
+                path.outcome = FAILED
+
+    for cid, path in paths.items():
+        tag = cid[0] if isinstance(cid, tuple) else cid
+        done = complete_by_tag.get(tag)
+        if done is not None and last_attempt.get(tag, cid) == cid:
+            path.outcome = COMMITTED
+            path.complete_time = done
+        elif path.outcome == UNRESOLVED and tag in squash_by_tag:
+            path.outcome = SQUASHED
+
+    return CriticalPathReport(paths=list(paths.values()))
+
+
+__all__ = [
+    "COMMITTED", "CommitPath", "CriticalPathReport", "FAILED", "Hop",
+    "SQUASHED", "UNRESOLVED", "analyze_commit_paths", "analyze_events",
+]

@@ -1,0 +1,283 @@
+"""Exporters for instrumentation-bus recordings: JSONL, CSV, Perfetto.
+
+The Perfetto exporter emits Chrome trace-event JSON (the ``traceEvents``
+array format) that loads directly in https://ui.perfetto.dev.  Track
+layout — one process row per concern, one thread track per component:
+
+=====  ======================  ============================================
+pid    process                 tracks (tid)
+=====  ======================  ============================================
+1      ``cores: execution``    one per core — ``X`` slices exec_start ->
+                               exec_done, ``i`` instants for squashes
+2      ``cores: commit``       one per core — ``X`` slices commit_request
+                               -> outcome, instants for retries/recalls
+3      ``directories``         one per module — async ``b``/``e`` spans
+                               for group lifetime (formed -> finished),
+                               instants for grab traffic, failures, nacks
+4      ``agents``              central arbiter / vendor decisions
+5      ``gauges``              one counter (``C``) track per gauge series
+=====  ======================  ============================================
+
+Simulated cycles are written as microseconds (``ts`` is 1 µs granularity
+in the trace-event format), so the Perfetto timeline reads directly in
+cycles.  Events are sorted by ``(pid, tid, ts)``: ``ts`` is monotone
+non-decreasing within every track, which the round-trip test asserts and
+some consumers require.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.bus import (
+    ARBITER_DECISION, COMMIT_COMPLETE, COMMIT_FINISHED, COMMIT_REQUEST,
+    COMMIT_RETRY, DIR_NACK, EXEC_DONE, EXEC_START, GRAB_ADMIT, GRAB_RECV,
+    GROUP_FAILED, GROUP_FORMED, MSG_RECV, MSG_SEND, OCI_RECALL, SQUASH,
+    InstrumentationBus, ctag_str,
+)
+
+PathLike = Union[str, Path]
+
+PID_EXEC = 1
+PID_COMMIT = 2
+PID_DIRS = 3
+PID_AGENTS = 4
+PID_GAUGES = 5
+
+_PROCESS_NAMES = {
+    PID_EXEC: "cores: execution",
+    PID_COMMIT: "cores: commit",
+    PID_DIRS: "directories",
+    PID_AGENTS: "agents",
+    PID_GAUGES: "gauges",
+}
+
+
+# ----------------------------------------------------------------------
+# Flat exporters
+# ----------------------------------------------------------------------
+def to_jsonl(bus: InstrumentationBus, path: PathLike) -> int:
+    """One JSON object per recorded event, deterministic key order."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in bus.events:
+            fh.write(json.dumps(ev.to_json(), sort_keys=True) + "\n")
+    return len(bus.events)
+
+
+def to_csv(bus: InstrumentationBus, path: PathLike) -> int:
+    """Fixed columns (time, kind, src, ctag) + the payload as JSON."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "kind", "src", "ctag", "fields"])
+        for ev in bus.events:
+            payload = {k: sorted(v) if isinstance(v, (set, frozenset)) else v
+                       for k, v in ev.fields.items()}
+            writer.writerow([ev.time, ev.kind, ev.src, ctag_str(ev.ctag),
+                             json.dumps(payload, sort_keys=True, default=str)])
+    return len(bus.events)
+
+
+# ----------------------------------------------------------------------
+# Perfetto / Chrome trace-event
+# ----------------------------------------------------------------------
+def _meta(pid: int, tid: int, process: str, thread: str) -> List[dict]:
+    return [
+        {"ph": "M", "pid": pid, "tid": tid, "name": "process_name",
+         "args": {"name": process}},
+        {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+         "args": {"name": thread}},
+    ]
+
+
+def _instant(pid: int, tid: int, ts: int, name: str,
+             args: Optional[Dict[str, Any]] = None) -> dict:
+    ev: Dict[str, Any] = {"ph": "i", "pid": pid, "tid": tid, "ts": ts,
+                          "name": name, "s": "t"}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def to_perfetto(bus: InstrumentationBus,
+                path: Optional[PathLike] = None) -> Dict[str, Any]:
+    """Build (and optionally write) the Chrome trace-event document."""
+    out: List[dict] = []
+    tracks: Dict[Tuple[int, int], str] = {}
+
+    def track(pid: int, tid: int, thread: str) -> None:
+        tracks.setdefault((pid, tid), thread)
+
+    # open slices awaiting their end event
+    exec_open: Dict[Any, Tuple[int, int]] = {}     # tag -> (core, start)
+    commit_open: Dict[Any, Tuple[int, int]] = {}   # cid -> (core, start)
+    tag_to_cid: Dict[int, Any] = {}                # core -> in-flight cid
+
+    def close_commit(cid: Any, ts: int, outcome: str) -> None:
+        opened = commit_open.pop(cid, None)
+        if opened is None:
+            return
+        core, start = opened
+        out.append({"ph": "X", "pid": PID_COMMIT, "tid": core, "ts": start,
+                    "dur": max(0, ts - start),
+                    "name": f"commit {ctag_str(cid)}",
+                    "args": {"outcome": outcome}})
+
+    for ev in bus.events:
+        kind, ts = ev.kind, ev.time
+        if kind == EXEC_START:
+            core = ev.fields["core"]
+            track(PID_EXEC, core, f"core{core}")
+            exec_open[ev.ctag] = (core, ts)
+        elif kind == EXEC_DONE:
+            opened = exec_open.pop(ev.ctag, None)
+            if opened is not None:
+                core, start = opened
+                out.append({"ph": "X", "pid": PID_EXEC, "tid": core,
+                            "ts": start, "dur": max(0, ts - start),
+                            "name": f"exec {ctag_str(ev.ctag)}"})
+        elif kind == SQUASH:
+            core = ev.fields["core"]
+            track(PID_EXEC, core, f"core{core}")
+            out.append(_instant(PID_EXEC, core, ts,
+                                f"squash {ctag_str(ev.ctag)}",
+                                {"reason": ev.fields["reason"]}))
+            opened = exec_open.pop(ev.ctag, None)
+            if opened is not None:  # squashed mid-execution
+                out.append({"ph": "X", "pid": PID_EXEC, "tid": core,
+                            "ts": opened[1], "dur": max(0, ts - opened[1]),
+                            "name": f"exec {ctag_str(ev.ctag)} (squashed)"})
+            cid = tag_to_cid.get(core)
+            if cid is not None and (not isinstance(cid, tuple)
+                                    or cid[0] == ev.ctag):
+                close_commit(cid, ts, "squashed")
+                tag_to_cid.pop(core, None)
+        elif kind == COMMIT_REQUEST:
+            core = ev.fields["core"]
+            track(PID_COMMIT, core, f"core{core}")
+            commit_open[ev.ctag] = (core, ts)
+            tag_to_cid[core] = ev.ctag
+        elif kind == COMMIT_RETRY:
+            close_commit(ev.ctag, ts, "retry")
+            out.append(_instant(PID_COMMIT, ev.fields["core"], ts,
+                                f"retry {ctag_str(ev.ctag)}"))
+        elif kind == COMMIT_COMPLETE:
+            core = ev.fields["core"]
+            cid = tag_to_cid.pop(core, None)
+            if cid is not None:
+                close_commit(cid, ts, "committed")
+            track(PID_COMMIT, core, f"core{core}")
+            out.append(_instant(PID_COMMIT, core, ts,
+                                f"committed {ctag_str(ev.ctag)}",
+                                {"n_dirs": ev.fields["n_dirs"]}))
+        elif kind == OCI_RECALL:
+            out.append(_instant(PID_COMMIT, ev.fields["core"], ts,
+                                f"oci recall {ctag_str(ev.ctag)}",
+                                {"collision_dir": ev.fields["collision_dir"]}))
+            close_commit(ev.ctag, ts, "recalled")
+        elif kind in (GRAB_RECV, GRAB_ADMIT, DIR_NACK, GROUP_FAILED,
+                      COMMIT_FINISHED) or (kind == GROUP_FORMED
+                                           and ev.fields["dir"] is not None):
+            d = ev.fields["dir"]
+            track(PID_DIRS, d, f"dir{d}")
+            label = f"{kind} {ctag_str(ev.ctag)}"
+            if kind == GROUP_FORMED:
+                out.append({"ph": "b", "cat": "group", "pid": PID_DIRS,
+                            "tid": d, "ts": ts,
+                            "id": f"{ctag_str(ev.ctag)}@d{d}",
+                            "name": f"group {ctag_str(ev.ctag)}",
+                            "args": {"order": ev.fields["order"],
+                                     "proc": ev.fields["proc"]}})
+            elif kind == COMMIT_FINISHED:
+                out.append({"ph": "e", "cat": "group", "pid": PID_DIRS,
+                            "tid": d, "ts": ts,
+                            "id": f"{ctag_str(ev.ctag)}@d{d}",
+                            "name": f"group {ctag_str(ev.ctag)}"})
+            else:
+                out.append(_instant(PID_DIRS, d, ts, label))
+        elif kind == GROUP_FORMED:  # dir is None: central agent
+            track(PID_AGENTS, 0, "agent")
+            out.append(_instant(PID_AGENTS, 0, ts,
+                                f"group {ctag_str(ev.ctag)}",
+                                {"proc": ev.fields["proc"]}))
+        elif kind == ARBITER_DECISION:
+            track(PID_AGENTS, 0, "agent")
+            verdict = "ok" if ev.fields["ok"] else "nack"
+            out.append(_instant(PID_AGENTS, 0, ts,
+                                f"arbiter {verdict} {ctag_str(ev.ctag)}",
+                                {"in_flight": ev.fields["in_flight"]}))
+        elif kind in (MSG_SEND, MSG_RECV):
+            continue  # per-message detail stays in JSONL/CSV exports
+
+    # unterminated slices: close at the last recorded time
+    end_ts = bus.events[-1].time if bus.events else 0
+    for tag, (core, start) in exec_open.items():
+        out.append({"ph": "X", "pid": PID_EXEC, "tid": core, "ts": start,
+                    "dur": max(0, end_ts - start),
+                    "name": f"exec {ctag_str(tag)} (unfinished)"})
+    for cid, (core, start) in commit_open.items():
+        out.append({"ph": "X", "pid": PID_COMMIT, "tid": core, "ts": start,
+                    "dur": max(0, end_ts - start),
+                    "name": f"commit {ctag_str(cid)} (unfinished)"})
+
+    # gauge counter tracks
+    for idx, (name, series) in enumerate(sorted(bus.gauges.series().items())):
+        track(PID_GAUGES, idx, name)
+        for t, v in series.samples():
+            out.append({"ph": "C", "pid": PID_GAUGES, "tid": idx, "ts": t,
+                        "name": name, "args": {"value": v}})
+
+    out.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    events: List[dict] = []
+    for (pid, tid), thread in sorted(tracks.items()):
+        events.extend(_meta(pid, tid, _PROCESS_NAMES[pid], thread))
+    events.extend(out)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+    return doc
+
+
+_VALID_PH = {"M", "X", "i", "C", "b", "e"}
+
+
+def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
+    """Schema-check a trace-event document; returns a list of problems."""
+    errors: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Tuple[int, int], int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PH:
+            errors.append(f"event {i}: bad ph {ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in ev:
+                errors.append(f"event {i}: missing {key}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errors.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if ph == "X" and ev.get("dur", -1) < 0:
+            errors.append(f"event {i}: X slice with bad dur")
+        key = (ev.get("pid"), ev.get("tid"))
+        if ts < last_ts.get(key, 0):
+            errors.append(f"event {i}: ts {ts} not monotone on track {key}")
+        last_ts[key] = ts
+    return errors
+
+
+__all__ = [
+    "PID_AGENTS", "PID_COMMIT", "PID_DIRS", "PID_EXEC", "PID_GAUGES",
+    "to_csv", "to_jsonl", "to_perfetto", "validate_perfetto",
+]

@@ -1,0 +1,114 @@
+"""Time-series gauges: bounded ring buffers sampled on-event.
+
+Every gauge series is a fixed-capacity ring of ``(time, value)`` samples;
+once full, the oldest sample is overwritten.  Gauges are fed by the
+instrumentation bus as events pass through it (there is no polling clock),
+so a series' sample density follows the activity it measures: a hot
+directory produces a dense occupancy series, an idle one a sparse one.
+
+Series shipped by :class:`~repro.obs.bus.InstrumentationBus`:
+
+================  =====================================================
+``noc_inflight``  messages injected but not yet delivered
+``sim_queue``     simulator event-queue depth, sampled per event
+``dir{N}_cst``    live CST/queue entries at directory module ``N``
+``groups_live``   groups formed but not yet fully committed
+``nacks_total``   cumulative bulk-invalidation nacks (rate = slope)
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+DEFAULT_CAPACITY = 4096
+
+Sample = Tuple[int, float]
+
+
+class RingSeries:
+    """One gauge series: a drop-oldest ring of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "capacity", "_buf", "_head", "total_samples")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"gauge capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._buf: List[Sample] = []
+        self._head = 0          #: next overwrite slot once the ring is full
+        self.total_samples = 0  #: lifetime count, including dropped samples
+
+    def append(self, time: int, value: float) -> None:
+        self.total_samples += 1
+        if len(self._buf) < self.capacity:
+            self._buf.append((time, value))
+            return
+        self._buf[self._head] = (time, value)
+        self._head = (self._head + 1) % self.capacity
+
+    def samples(self) -> List[Sample]:
+        """Retained samples in chronological order."""
+        return self._buf[self._head:] + self._buf[:self._head]
+
+    @property
+    def dropped(self) -> int:
+        return self.total_samples - len(self._buf)
+
+    def last(self) -> Sample:
+        if not self._buf:
+            raise IndexError(f"gauge {self.name} has no samples")
+        return self._buf[(self._head - 1) % len(self._buf)]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RingSeries({self.name!r}, n={len(self._buf)}, "
+                f"dropped={self.dropped})")
+
+
+class GaugeSet:
+    """A named collection of ring-buffer series plus counter helpers."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._series: Dict[str, RingSeries] = {}
+        self._counters: Dict[str, float] = {}
+
+    def sample(self, name: str, time: int, value: float) -> None:
+        """Record an absolute value for ``name`` at ``time``."""
+        series = self._series.get(name)
+        if series is None:
+            series = RingSeries(name, self.capacity)
+            self._series[name] = series
+        series.append(time, value)
+
+    def bump(self, name: str, time: int, delta: float) -> float:
+        """Adjust a running counter and sample its new value."""
+        value = self._counters.get(name, 0.0) + delta
+        self._counters[name] = value
+        self.sample(name, time, value)
+        return value
+
+    def value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def series(self) -> Dict[str, RingSeries]:
+        """All series keyed by name (insertion order = first sample order)."""
+        return dict(self._series)
+
+    def get(self, name: str) -> RingSeries:
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def to_json(self) -> Dict[str, List[List[float]]]:
+        """Chronological samples per series, sorted by series name."""
+        return {name: [[t, v] for t, v in s.samples()]
+                for name, s in sorted(self._series.items())}
+
+
+__all__ = ["DEFAULT_CAPACITY", "GaugeSet", "RingSeries", "Sample"]

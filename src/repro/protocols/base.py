@@ -24,6 +24,7 @@ from repro.memory.directory import DirectoryModule
 from repro.memory.page_map import PageMapper
 from repro.network.message import Message, MessageType, core_node, dir_node
 from repro.network.noc import Network
+from repro.obs.bus import NULL_BUS, NullBus
 from repro.signatures.bulk_signature import BulkSignature, SignatureFactory
 from repro.stats.metrics import MachineStats
 
@@ -85,6 +86,7 @@ class ProcessorEngine:
         self.network = protocol.network
         self.stats = protocol.stats
         self.node = core_node(core.core_id)
+        self.obs: NullBus = NULL_BUS  #: instrumentation sink (repro.obs)
         core.engine = self
 
     # ------------------------------------------------------------------
@@ -132,6 +134,9 @@ class ProcessorEngine:
 
     def request_commit(self, chunk: Chunk) -> None:
         """Called by the core when ``chunk`` reaches the head of its queue."""
+        if self.obs.enabled:
+            self.obs.commit_request(self.sim.now, self.core.core_id,
+                                    self._cid(chunk), sorted(chunk.dirs))
         if not chunk.dirs:
             # A chunk with no memory accesses commits trivially.
             self.sim.schedule(1, lambda: self._trivial_commit(chunk))
@@ -183,6 +188,9 @@ class ProcessorEngine:
         invalidation that always arrives while the victim is awaiting its
         own arbiter outcome and therefore nacks it — a livelock).
         """
+        if self.obs.enabled:
+            self.obs.commit_retry(self.sim.now, self.core.core_id,
+                                  self._cid(chunk))
         self.stats.attempt_finished(self._cid(chunk), success=False)
         chunk.commit_failures += 1
         base = self.config.commit_retry_backoff_cycles
@@ -195,6 +203,10 @@ class ProcessorEngine:
         if self.core.committing_head is not chunk:
             return
         chunk.commit_request_time = self.sim.now
+        if self.obs.enabled:
+            # A retry is a fresh protocol conversation with a new cid.
+            self.obs.commit_request(self.sim.now, self.core.core_id,
+                                    self._cid(chunk), sorted(chunk.dirs))
         self.stats.attempt_started(self._cid(chunk), self.sim.now,
                                    queued=self.starts_queued())
         self.send_commit_request(chunk)

@@ -161,9 +161,14 @@ class MachineStats:
     def bottleneck_ratio(self) -> float:
         """Mean over samples of |forming, eventually-successful| / |committing|.
 
-        Samples with an empty denominator contribute the numerator count
-        directly against a denominator of 1 (a group just formed, so the
-        machine is never truly idle at a sample point).
+        Computed retrospectively: the numerator counts only attempts whose
+        outcome resolved to success by the end of the run.  Attempts that
+        failed — or never resolved at all (still forming when the run was
+        cut off) — are excluded, per the Section 6.4 definition: a chunk
+        whose group never commits was never going to relieve the
+        bottleneck.  Samples with an empty denominator contribute the
+        numerator count directly against a denominator of 1 (a group just
+        formed, so the machine is never truly idle at a sample point).
         """
         if not self.bottleneck_samples:
             return 0.0
@@ -171,7 +176,7 @@ class MachineStats:
         for forming_ids, committing in self.bottleneck_samples:
             good_forming = sum(
                 1 for aid in forming_ids
-                if self._attempts[aid].succeeded in (True, None)
+                if self._attempts[aid].succeeded is True
             )
             ratios.append(good_forming / max(1, committing))
         return sum(ratios) / len(ratios)

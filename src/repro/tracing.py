@@ -1,27 +1,45 @@
-"""Structured event tracing for debugging protocol behaviour.
+"""Legacy chunk-lifecycle tracing — a compat shim over :mod:`repro.obs`.
 
-Attach a :class:`ChunkTracer` to a machine before running and every
-chunk-level event (execution start/finish, commit request/outcome, squash,
-group formation at directories) is recorded as a typed event with a
-timestamp.  The trace can be filtered, rendered as a per-chunk timeline,
-or dumped as JSON Lines for external tooling.
+.. deprecated::
+    New code should use :class:`repro.obs.InstrumentationBus` directly
+    (``attach_bus`` + the typed event stream); it records strictly more
+    (messages, grab circulation, gauges) and feeds the critical-path
+    analyzer and the Perfetto exporter.  This module remains so existing
+    scripts and tests keep their ``ChunkTracer`` vocabulary: the tracer
+    now attaches a real instrumentation bus and *translates* its events
+    into the historical :class:`TraceEvent` records instead of wrapping
+    component methods.
 
-Tracing works by wrapping the relevant methods; it never changes protocol
-behaviour or timing (wall-clock aside).
+The legacy event kinds are: ``exec_start``, ``exec_done``,
+``commit_request``, ``commit_success``, ``commit_failure``, ``squash``,
+``group_formed`` and ``group_failed``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.cpu.chunk import Chunk, ChunkState
+from repro.obs.bus import (
+    COMMIT_COMPLETE,
+    COMMIT_REQUEST,
+    COMMIT_RETRY,
+    EXEC_DONE,
+    EXEC_START,
+    GROUP_FAILED,
+    GROUP_FORMED,
+    SQUASH,
+    InstrumentationBus,
+    ObsEvent,
+    attach_bus,
+)
 
 
 @dataclass
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event (legacy schema)."""
 
     time: int
     kind: str          #: exec_start | exec_done | commit_request |
@@ -32,96 +50,59 @@ class TraceEvent:
     detail: str = ""
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self))
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def _translate(ev: ObsEvent) -> Optional[TraceEvent]:
+    """One bus event -> one legacy event (or None for kinds the legacy
+    tracer never recorded, e.g. grab circulation)."""
+    f = ev.fields
+    if ev.kind == EXEC_START:
+        return TraceEvent(ev.time, "exec_start", f["core"], str(ev.ctag))
+    if ev.kind == EXEC_DONE:
+        return TraceEvent(ev.time, "exec_done", f["core"], str(ev.ctag))
+    if ev.kind == SQUASH:
+        return TraceEvent(ev.time, "squash", f["core"], str(ev.ctag),
+                          f["reason"])
+    if ev.kind == COMMIT_COMPLETE:
+        return TraceEvent(ev.time, "commit_success", f["core"], str(ev.ctag))
+    if ev.kind == COMMIT_REQUEST:
+        # cid = (tag, attempt); the legacy tracer keyed on the bare tag
+        return TraceEvent(ev.time, "commit_request", f["core"],
+                          str(ev.ctag[0]), f"dirs={f['dirs']}")
+    if ev.kind == COMMIT_RETRY:
+        return TraceEvent(ev.time, "commit_failure", f["core"],
+                          str(ev.ctag[0]), "retry")
+    if ev.kind == GROUP_FORMED:
+        leader = "agent" if f["dir"] is None else f"dir{f['dir']}"
+        return TraceEvent(ev.time, "group_formed", f["proc"],
+                          str(ev.ctag[0]),
+                          f"leader={leader} order={tuple(f['order'])}")
+    if ev.kind == GROUP_FAILED:
+        return TraceEvent(ev.time, "group_failed", f["proc"],
+                          str(ev.ctag[0]), f"collision=dir{f['dir']}")
+    return None
 
 
 class ChunkTracer:
-    """Records the lifecycle of every chunk on a machine."""
+    """Records the lifecycle of every chunk on a machine.
+
+    Attaching (before ``machine.run()``) installs an
+    :class:`~repro.obs.InstrumentationBus` with message recording off; the
+    legacy event list is a translated view over the bus's event stream.
+    The underlying bus stays reachable as ``tracer.bus`` for callers who
+    want the richer stream, the gauges or the exporters.
+    """
 
     def __init__(self, machine) -> None:
         self.machine = machine
-        self.events: List[TraceEvent] = []
-        for core in machine.cores:
-            self._wrap_core(core)
-        for directory in machine.directories:
-            self._wrap_directory(directory)
+        self.bus: InstrumentationBus = attach_bus(
+            machine, InstrumentationBus(record_messages=False))
 
-    # ------------------------------------------------------------------
-    def _emit(self, kind: str, core: int, tag, detail: str = "") -> None:
-        self.events.append(TraceEvent(
-            time=self.machine.sim.now, kind=kind, core=core,
-            tag=str(tag), detail=detail))
-
-    def _wrap_core(self, core) -> None:
-        orig_burst = core._run_burst
-
-        def traced_burst():
-            ctx = core._exec
-            if ctx is not None and ctx.idx == 0:
-                self._emit("exec_start", core.core_id, ctx.chunk.tag)
-            orig_burst()
-
-        core._run_burst = traced_burst
-
-        orig_complete = core._exec_complete
-
-        def traced_complete(epoch):
-            ctx = core._exec
-            live = ctx is not None and ctx.epoch == epoch
-            tag = ctx.chunk.tag if live else None
-            orig_complete(epoch)
-            if live:
-                self._emit("exec_done", core.core_id, tag)
-
-        core._exec_complete = traced_complete
-
-        orig_success = core.on_commit_success
-
-        def traced_success(chunk):
-            self._emit("commit_success", core.core_id, chunk.tag)
-            orig_success(chunk)
-
-        core.on_commit_success = traced_success
-
-        orig_squash = core.squash_from
-
-        def traced_squash(chunk, *, true_conflict):
-            victims = orig_squash(chunk, true_conflict=true_conflict)
-            for v in victims:
-                self._emit("squash", core.core_id, v.tag,
-                           "conflict" if true_conflict else "alias")
-            return victims
-
-        core.squash_from = traced_squash
-
-        engine = core.engine
-        if engine is not None:
-            orig_request = engine.request_commit
-
-            def traced_request(chunk):
-                self._emit("commit_request", core.core_id, chunk.tag,
-                           f"dirs={sorted(chunk.dirs)}")
-                orig_request(chunk)
-
-            engine.request_commit = traced_request
-
-    def _wrap_directory(self, directory) -> None:
-        confirm = getattr(directory, "_confirm_group", None)
-        if confirm is not None:
-            def traced_confirm(entry, _orig=confirm, _dir=directory):
-                self._emit("group_formed", entry.proc, entry.cid[0],
-                           f"leader=dir{_dir.dir_id} order={entry.order}")
-                _orig(entry)
-
-            directory._confirm_group = traced_confirm
-        fail = getattr(directory, "_fail_group", None)
-        if fail is not None:
-            def traced_fail(entry, genuine=True, _orig=fail, _dir=directory):
-                self._emit("group_failed", entry.proc, entry.cid[0],
-                           f"collision=dir{_dir.dir_id}")
-                _orig(entry, genuine)
-
-            directory._fail_group = traced_fail
+    @property
+    def events(self) -> List[TraceEvent]:
+        return [te for te in map(_translate, self.bus.events)
+                if te is not None]
 
     # ------------------------------------------------------------------
     # Queries
@@ -139,12 +120,14 @@ class ChunkTracer:
             lines.append(f"  t={e.time:>8d} {e.kind:15s} {e.detail}")
         return "\n".join(lines)
 
-    def dump_jsonl(self, path) -> int:
-        """Write all events as JSON Lines; returns the event count."""
-        with open(path, "w") as fh:
-            for e in self.events:
+    def dump_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Write all events as JSON Lines (UTF-8, sorted keys); returns
+        the event count."""
+        events = self.events
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in events:
                 fh.write(e.to_json() + "\n")
-        return len(self.events)
+        return len(events)
 
     def summary(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

@@ -1,0 +1,116 @@
+"""Tests for the trace exporters: JSONL, CSV and Perfetto round-trip."""
+
+import csv
+import json
+
+from repro.harness.runner import run_app
+from repro.obs.bus import InstrumentationBus
+from repro.obs.export import (
+    PID_COMMIT,
+    PID_DIRS,
+    PID_EXEC,
+    to_csv,
+    to_jsonl,
+    to_perfetto,
+    validate_perfetto,
+)
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    bus = InstrumentationBus()
+    result = run_app("Radix", n_cores=4, chunks_per_partition=2, bus=bus)
+    return bus, result
+
+
+class TestFlatExports:
+    def test_jsonl_accepts_path_and_sorts_keys(self, traced_run, tmp_path):
+        bus, _ = traced_run
+        out = tmp_path / "events.jsonl"      # pathlib.Path, not str
+        n = to_jsonl(bus, out)
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == n == len(bus.events)
+        for line in lines[:50]:
+            parsed = json.loads(line)
+            assert line == json.dumps(parsed, sort_keys=True)
+            assert {"time", "kind", "src"} <= set(parsed)
+
+    def test_csv_columns(self, traced_run, tmp_path):
+        bus, _ = traced_run
+        out = tmp_path / "events.csv"
+        n = to_csv(bus, out)
+        with open(out, newline="", encoding="utf-8") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["time", "kind", "src", "ctag", "fields"]
+        assert len(rows) == n + 1
+        json.loads(rows[1][4])  # payload column is valid JSON
+
+
+class TestPerfettoRoundTrip:
+    def test_written_file_reparses_and_validates(self, traced_run, tmp_path):
+        bus, _ = traced_run
+        out = tmp_path / "trace.json"
+        doc = to_perfetto(bus, out)
+        reread = json.loads(out.read_text(encoding="utf-8"))
+        assert reread["traceEvents"] == doc["traceEvents"]
+        assert validate_perfetto(reread) == []
+
+    def test_ts_monotone_per_track(self, traced_run):
+        bus, _ = traced_run
+        doc = to_perfetto(bus)
+        last = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            key = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(key, 0), key
+            last[key] = ev["ts"]
+
+    def test_per_core_and_per_directory_tracks(self, traced_run):
+        bus, result = traced_run
+        doc = to_perfetto(bus)
+        threads = {(e["pid"], e["tid"]): e["args"]["name"]
+                   for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        for core in range(result.n_cores):
+            assert threads.get((PID_EXEC, core)) == f"core{core}"
+            assert threads.get((PID_COMMIT, core)) == f"core{core}"
+        dir_tracks = {tid for pid, tid in threads if pid == PID_DIRS}
+        assert dir_tracks  # at least one directory was active
+
+    def test_commit_slices_cover_every_commit(self, traced_run):
+        bus, result = traced_run
+        doc = to_perfetto(bus)
+        slices = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["pid"] == PID_COMMIT
+                  and e["args"].get("outcome") == "committed"]
+        assert len(slices) == result.chunks_committed
+        assert all(e["dur"] >= 0 for e in slices)
+
+    def test_empty_bus_exports_valid_doc(self):
+        doc = to_perfetto(InstrumentationBus())
+        assert doc["traceEvents"] == []
+        assert validate_perfetto(doc) == []
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_perfetto({}) == ["traceEvents missing or not a list"]
+
+    def test_rejects_bad_ph_and_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "pid": 1, "tid": 0, "name": "x", "ts": 0},
+            {"ph": "i", "pid": 1, "tid": 0, "name": "x", "ts": -1},
+        ]}
+        errors = validate_perfetto(doc)
+        assert any("bad ph" in e for e in errors)
+        assert any("bad ts" in e for e in errors)
+
+    def test_rejects_non_monotone_track(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "pid": 1, "tid": 0, "name": "a", "ts": 10, "s": "t"},
+            {"ph": "i", "pid": 1, "tid": 0, "name": "b", "ts": 5, "s": "t"},
+        ]}
+        assert any("not monotone" in e for e in validate_perfetto(doc))

@@ -35,6 +35,26 @@ class TestHistogram:
         assert h.percentile(50) == 0
         assert h.percentages(3)["more"] == 0.0
 
+    def test_percentile_single_sample(self):
+        h = Histogram()
+        h.add(42)
+        for p in (0.1, 1, 50, 99, 100):
+            assert h.percentile(p) == 42
+
+    def test_percentile_all_equal_samples(self):
+        h = Histogram()
+        for _ in range(10):
+            h.add(7)
+        for p in (1, 50, 100):
+            assert h.percentile(p) == 7
+
+    def test_percentile_extremes(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.add(v)
+        assert h.percentile(100) == 100
+        assert h.percentile(0.5) == 1   # smallest value covering 0.5%
+
     def test_bucketize(self):
         buckets = bucketize([5, 55, 55, 1000], bucket_width=50, n_buckets=4)
         assert buckets[0] == (0, 1)
@@ -74,6 +94,29 @@ class TestAttemptBookkeeping:
         s.attempt_finished("b", success=False)
         s.attempt_finished("a", success=True)
         assert s.bottleneck_ratio() == 0.0  # b failed -> excluded
+
+    def test_bottleneck_excludes_unresolved_attempts(self):
+        # the retrospective exclusion rule: an attempt still unresolved
+        # when the run ends never resolved to success, so it must not
+        # count toward the numerator
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_started("b", 0)
+        s.attempt_group_formed("a")  # sample: b forming, a committing
+        s.attempt_finished("a", success=True)
+        # "b" never finishes: the run was cut off mid-formation
+        assert s.bottleneck_ratio() == 0.0
+
+    def test_bottleneck_mixed_resolved_and_unresolved(self):
+        s = MachineStats()
+        s.attempt_started("a", 0)
+        s.attempt_started("b", 0)
+        s.attempt_started("c", 0)
+        s.attempt_group_formed("a")  # sample: {b, c} forming, a committing
+        s.attempt_finished("b", success=True)
+        s.attempt_finished("a", success=True)
+        # "c" unresolved -> only "b" counts: ratio 1/1
+        assert s.bottleneck_ratio() == 1.0
 
     def test_bottleneck_counts_successful_forming(self):
         s = MachineStats()
