@@ -9,6 +9,7 @@ sweep      full experiment matrix (delegates to repro.harness.sweep)
 lint       protocol linter + determinism static analysis (repro.analysis)
 explore    schedule-exploration model checker (repro.analysis.explore)
 trace      instrumented run: Perfetto/JSONL/CSV export + critical path
+bench      micro + macro performance benchmarks (repro.harness.bench)
 """
 
 from __future__ import annotations
@@ -62,27 +63,41 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _trace_out_for(trace: str, proto: ProtocolKind) -> str:
+    """One trace file per protocol: base.ext -> base.<proto>.ext."""
+    root, dot, ext = trace.rpartition(".")
+    return (f"{root}.{proto.value.lower()}.{ext}" if dot
+            else f"{trace}.{proto.value.lower()}")
+
+
 def _cmd_compare(args) -> int:
+    from repro.harness.parallel import (resolve_jobs, run_ordered,
+                                        run_protocol_record)
+    payloads = [{
+        "app": args.app,
+        "n_cores": args.cores,
+        "protocol": proto.value,
+        "chunks": args.chunks,
+        "oracle": args.oracle,
+        "trace_out": _trace_out_for(args.trace, proto) if args.trace else None,
+    } for proto in ProtocolKind]
     print(f"{args.app} on {args.cores} cores:")
     print(f"{'protocol':14s} {'cycles':>10s} {'commit lat':>10s} "
           f"{'commit%':>8s} {'queue':>6s}")
-    for proto in ProtocolKind:
-        bus = _make_bus(args.trace)
-        r = run_app(args.app, n_cores=args.cores, protocol=proto,
-                    chunks_per_partition=args.chunks, oracle=args.oracle,
-                    bus=bus)
-        frac = r.breakdown_fractions()
-        print(f"{proto.value:14s} {r.total_cycles:10,d} "
-              f"{r.mean_commit_latency:10.1f} "
-              f"{frac['Commit'] * 100:7.1f}% {r.mean_queue_length:6.2f}")
-        if bus is not None:
-            # one trace file per protocol: base.ext -> base.<proto>.ext
-            from repro.obs.export import to_perfetto
-            root, dot, ext = args.trace.rpartition(".")
-            out = (f"{root}.{proto.value.lower()}.{ext}" if dot
-                   else f"{args.trace}.{proto.value.lower()}")
-            doc = to_perfetto(bus, out)
-            print(f"    trace: {len(doc['traceEvents'])} events -> {out}")
+
+    def show(_i, _payload, r) -> None:
+        print(f"{r['protocol']:14s} {r['total_cycles']:10,d} "
+              f"{r['mean_commit_latency']:10.1f} "
+              f"{r['commit_frac'] * 100:7.1f}% {r['mean_queue_length']:6.2f}")
+        if r.get("trace_out"):
+            print(f"    trace: {r['trace_events']} events -> "
+                  f"{r['trace_out']}")
+
+    # With --jobs the four protocol runs execute concurrently; rows are
+    # still printed in ProtocolKind order because run_ordered hands
+    # results over in submission order.
+    run_ordered(run_protocol_record, payloads, jobs=resolve_jobs(args.jobs),
+                on_result=show)
     return 0
 
 
@@ -116,6 +131,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of trace's own flags work
         from repro.obs import cli as trace_cli
         return trace_cli.main(argv[1:])
+    if argv and argv[0] == "bench":
+        # delegate untouched so all of bench's own flags work
+        from repro.harness import bench
+        return bench.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -143,6 +162,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_cmp.add_argument("--trace", metavar="OUT",
                        help="write one Perfetto trace per protocol "
                             "(OUT gets a .<protocol> suffix)")
+    p_cmp.add_argument("--jobs", type=int, default=1,
+                       help="run the four protocols on N worker processes "
+                            "(0 = all cores); output order is unchanged")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_apps = sub.add_parser("apps", help="list modelled applications")
@@ -156,6 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    "(see python -m repro explore -h)")
     sub.add_parser("trace", help="instrumented run with Perfetto export "
                                  "(see python -m repro trace -h)")
+    sub.add_parser("bench", help="micro + macro performance benchmarks "
+                                 "(see python -m repro bench -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

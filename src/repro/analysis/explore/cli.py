@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.explore.driver import ScheduleResult
 from repro.analysis.explore.minimize import minimize_schedule
@@ -44,6 +44,57 @@ def _explore(scenario: Scenario, mutation: Optional[Mutation],
                           with_delays=args.mode == "delay")
 
 
+def _explore_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: explore one (scenario, mutation) pair.
+
+    Returns only plain data — the exploration verdict plus, on failure,
+    the (optionally minimized) counterexample in its JSON trace form —
+    so results cross the process boundary without pickling any machine
+    state.  Minimization runs inside the worker: it is the expensive
+    part, which is exactly why it should be fanned out.
+    """
+    scenario = SCENARIOS[payload["scenario"]]
+    mutation = MUTATIONS.get(payload["mutation"]) if payload["mutation"] else None
+    args = argparse.Namespace(**payload["knobs"])
+    report = _explore(scenario, mutation, args)
+    out: Dict[str, Any] = {
+        "scenario": payload["scenario"], "mutation": payload["mutation"],
+        "clean": report.clean, "schedules_run": report.schedules_run}
+    if not report.clean:
+        assert report.violation is not None
+        result = report.violation
+        out["codes"] = list(result.codes)
+        if payload["minimize"]:
+            result = minimize_schedule(result.scenario, result.schedule,
+                                       MUTATIONS.get(result.mutation or ""))
+        out["trace"] = trace_json(result)
+    return out
+
+
+def _knobs(args: argparse.Namespace) -> Dict[str, Any]:
+    return {"mode": args.mode, "schedules": args.schedules,
+            "depth": args.depth, "seed": args.seed}
+
+
+def _emit_violation_data(data: Dict[str, Any],
+                         args: argparse.Namespace) -> None:
+    """Render a worker-produced JSON counterexample (already minimized)."""
+    trace = data["trace"]
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"trace written to {args.save}")
+    if args.format == "json":
+        print(json.dumps(trace, indent=2, sort_keys=True))
+    else:
+        for v in trace["violations"]:
+            print(f"  {v['code']} [{v['rule']}] t={v['time']}: {v['detail']}")
+        sched = trace["schedule"]
+        print(f"  schedule: ties={sched['ties']} "
+              f"delays={dict(sched['delays'])}")
+
+
 def _emit_violation(result: ScheduleResult, args: argparse.Namespace) -> None:
     if args.minimize:
         result = minimize_schedule(result.scenario, result.schedule,
@@ -61,20 +112,28 @@ def _emit_violation(result: ScheduleResult, args: argparse.Namespace) -> None:
 
 
 def _run_mutation_suite(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import run_ordered
+    payloads = [{"scenario": m.scenario, "mutation": name,
+                 "knobs": _knobs(args), "minimize": False}
+                for name, m in MUTATIONS.items()]
     missed: List[str] = []
-    for name, mutation in MUTATIONS.items():
-        scenario = SCENARIOS[mutation.scenario]
-        report = _explore(scenario, mutation, args)
-        if report.clean:
+
+    def show(_i: int, _payload: Dict[str, Any],
+             data: Dict[str, Any]) -> None:
+        name = data["mutation"]
+        mutation = MUTATIONS[name]
+        if data["clean"]:
             print(f"MISSED  {name} on {mutation.scenario} "
-                  f"({report.schedules_run} schedules, expected "
+                  f"({data['schedules_run']} schedules, expected "
                   f"{mutation.expected})")
             missed.append(name)
         else:
-            assert report.violation is not None
-            codes = "/".join(report.violation.codes)
+            codes = "/".join(data["codes"])
             print(f"caught  {name} on {mutation.scenario} "
-                  f"({report.schedules_run} schedules): {codes}")
+                  f"({data['schedules_run']} schedules): {codes}")
+
+    run_ordered(_explore_worker, payloads, jobs=getattr(args, "jobs", 1),
+                on_result=show)
     if missed:
         print(f"{len(missed)} mutation(s) survived exploration: "
               f"{', '.join(missed)}")
@@ -84,17 +143,25 @@ def _run_mutation_suite(args: argparse.Namespace) -> int:
 
 
 def _run_clean_sweep(names: Sequence[str], args: argparse.Namespace) -> int:
-    failures = 0
-    for name in names:
-        report = _explore(SCENARIOS[name], None, args)
-        if report.clean:
-            print(f"clean   {name} ({report.schedules_run} schedules)")
-            continue
-        failures += 1
-        assert report.violation is not None
-        print(f"FAIL    {name}: {'/'.join(report.violation.codes)} after "
-              f"{report.schedules_run} schedules")
-        _emit_violation(report.violation, args)
+    from repro.harness.parallel import run_ordered
+    payloads = [{"scenario": name, "mutation": None, "knobs": _knobs(args),
+                 "minimize": args.minimize}
+                for name in names]
+    failures: List[str] = []
+
+    def show(_i: int, _payload: Dict[str, Any],
+             data: Dict[str, Any]) -> None:
+        name = data["scenario"]
+        if data["clean"]:
+            print(f"clean   {name} ({data['schedules_run']} schedules)")
+            return
+        failures.append(name)
+        print(f"FAIL    {name}: {'/'.join(data['codes'])} after "
+              f"{data['schedules_run']} schedules")
+        _emit_violation_data(data, args)
+
+    run_ordered(_explore_worker, payloads, jobs=getattr(args, "jobs", 1),
+                on_result=show)
     return 1 if failures else 0
 
 
@@ -115,6 +182,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "to deviate (default 12)")
     parser.add_argument("--seed", type=int, default=0,
                         help="random/delay mode sampling seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="explore scenarios/mutations on N worker "
+                             "processes (0 = all cores); per-scenario "
+                             "results and exit codes are unchanged")
     parser.add_argument("--mutate", default=None, metavar="NAME",
                         help="inject one protocol bug (see --list)")
     parser.add_argument("--mutations", action="store_true",
@@ -138,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and mutations, then exit")
     args = parser.parse_args(argv)
+    from repro.harness.parallel import resolve_jobs
+    args.jobs = resolve_jobs(args.jobs)
 
     if args.list:
         print("scenarios:")

@@ -43,10 +43,16 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     tag: Any = field(default=None, compare=False)
+    #: Owning simulator, so cancellation can maintain its O(1) live-event
+    #: counter without a heap scan.
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when its time arrives."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._live_events -= 1
 
 
 class Simulator:
@@ -64,6 +70,11 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        #: Count of not-yet-cancelled queued events, maintained on
+        #: schedule/cancel/execute so ``pending_events`` (and therefore
+        #: ``quiescent()``, called on conservation-check hot paths) is O(1)
+        #: instead of a full heap scan.
+        self._live_events: int = 0
         #: Exploration hook: picks among same-cycle events (None = default
         #: insertion order, the fully deterministic seed behaviour).
         self.tie_breaker: Optional[TieBreaker] = None
@@ -86,8 +97,10 @@ class Simulator:
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        ev = Event(time=int(time), seq=self._seq, callback=callback, tag=tag)
+        ev = Event(time=int(time), seq=self._seq, callback=callback, tag=tag,
+                   owner=self)
         self._seq += 1
+        self._live_events += 1
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -103,6 +116,11 @@ class Simulator:
             if self.tie_breaker is not None:
                 ev = self._tie_break(ev)
             self.now = ev.time
+            self._live_events -= 1
+            # An executed event is no longer live: flagging it here makes a
+            # late ``cancel()`` (e.g. from its own callback) a no-op instead
+            # of a second counter decrement.
+            ev.cancelled = True
             if self.obs.enabled:
                 self.obs.sim_step(ev.time, len(self._heap))
             ev.callback()
@@ -136,6 +154,11 @@ class Simulator:
         ``until`` stops the clock once the next event would fire after that
         cycle; ``max_events`` bounds total work (guards against protocol
         livelock bugs in tests).
+
+        When ``until`` is given the clock always advances to ``until`` —
+        including when the queue is empty or drains before that cycle — so
+        callers see the same "time has passed" semantics whether or not
+        anything was scheduled in the window.
         """
         processed = 0
         while self._heap:
@@ -153,6 +176,8 @@ class Simulator:
                     f"simulation exceeded max_events={max_events} at cycle {self.now}; "
                     "possible livelock"
                 )
+        if until is not None and until > self.now:
+            self.now = until
 
     def _peek_time(self) -> Optional[int]:
         while self._heap and self._heap[0].cancelled:
@@ -164,8 +189,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live_events
 
     @property
     def events_processed(self) -> int:

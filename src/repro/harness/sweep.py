@@ -10,6 +10,12 @@ Usage::
     python -m repro.harness.sweep --cores 32 64 --chunks 3 \
         --json results/sweep.json --markdown results/experiments.md
     python -m repro.harness.sweep --quick     # 16-core smoke sweep
+    python -m repro.harness.sweep --quick --jobs 4   # process-pool fan-out
+
+``--jobs N`` fans the matrix out over N worker processes
+(:mod:`repro.harness.parallel`); results merge into the JSON cache in the
+same deterministic order as a serial sweep, so the cache contents are
+identical modulo per-run wall-clock fields.
 """
 
 from __future__ import annotations
@@ -82,16 +88,53 @@ def key_of(app: str, n_cores: int, protocol: str, active: int) -> str:
     return f"{app}/{n_cores}/{protocol}/{active}"
 
 
+#: One matrix cell, picklable: (app, n_cores, protocol value, chunks,
+#: active_cores, n_partitions, instrument critical paths?).
+SweepTask = tuple
+
+
+def _sweep_worker(task: SweepTask) -> tuple:
+    """Process-pool worker: one matrix cell -> (record, cpath summary)."""
+    app, n_cores, proto_value, chunks, active, n_partitions, want_cp = task
+    bus = InstrumentationBus(record_messages=False) if want_cp else None
+    record = run_one(app, n_cores, ProtocolKind(proto_value), chunks,
+                     active_cores=active, n_partitions=n_partitions, bus=bus)
+    cpath = analyze_commit_paths(bus).summary() if bus is not None else None
+    return record, cpath
+
+
+def _matrix(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
+            want_cp: bool) -> List[tuple]:
+    """The full (key, task) matrix in canonical serial order."""
+    big = max(core_counts)
+    cells: List[tuple] = []
+    for app in apps:
+        cells.append((key_of(app, big, "baseline1p", 1),
+                      (app, big, ProtocolKind.SCALABLEBULK.value, chunks,
+                       1, big, want_cp)))
+        for n in core_counts:
+            for proto in PROTOCOLS:
+                cells.append((key_of(app, n, proto.value, n),
+                              (app, n, proto.value, chunks, None, big,
+                               want_cp)))
+    return cells
+
+
 def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
             cache_path: Optional[Path] = None,
             log=print,
-            critical_paths_path: Optional[Path] = None) -> Dict[str, dict]:
+            critical_paths_path: Optional[Path] = None,
+            jobs: int = 1) -> Dict[str, dict]:
     """Run the matrix, reusing any cached records.
 
     ``critical_paths_path`` additionally instruments every fresh run and
     writes a per-configuration commit critical-path summary (phase-latency
     breakdown, per-directory hop dwell) there.  Records already cached
     keep whatever summary they had — only new runs gain one.
+
+    ``jobs > 1`` fans uncached cells out over a process pool while merging
+    results (and saving the resumable cache) in canonical matrix order, so
+    the cache is identical to a serial sweep's modulo wall-clock fields.
     """
     records: Dict[str, dict] = {}
     if cache_path and cache_path.exists():
@@ -118,6 +161,30 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
     def finish(key: str, bus: Optional[InstrumentationBus]) -> None:
         if bus is not None:
             cpaths[key] = analyze_commit_paths(bus).summary()
+
+    if jobs > 1:
+        from repro.harness.parallel import run_ordered
+        cells = _matrix(apps, core_counts, chunks,
+                        critical_paths_path is not None)
+        pending = [(key, task) for key, task in cells if key not in records]
+        log(f"{len(cells) - len(pending)} cached, {len(pending)} to run "
+            f"on {jobs} workers")
+
+        def merge(i: int, _payload: tuple, result: tuple) -> None:
+            key = pending[i][0]
+            record, cpath = result
+            records[key] = record
+            if cpath is not None:
+                cpaths[key] = cpath
+            save()
+            log(f"[{i + 1}/{len(pending)}] {key}: "
+                f"{record['total_cycles']} cycles "
+                f"({record['wall_seconds']}s)")
+
+        run_ordered(_sweep_worker, [task for _, task in pending], jobs=jobs,
+                    on_result=merge)
+        save()
+        return records
 
     big = max(core_counts)
     total = len(apps) * (1 + len(core_counts) * len(PROTOCOLS))
@@ -371,6 +438,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=Path("results/experiments.md"))
     parser.add_argument("--quick", action="store_true",
                         help="16-core, 4-app smoke sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the matrix (0 = all "
+                             "cores); results merge deterministically, so "
+                             "the cache matches a serial sweep")
     parser.add_argument("--critical-paths", action="store_true",
                         help="instrument every run and write per-config "
                              "commit critical-path summaries next to the "
@@ -382,10 +453,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.apps = ["Radix", "LU", "Barnes", "Canneal"]
         args.chunks = 2
 
+    from repro.harness.parallel import resolve_jobs
     cp_path = (args.json.parent / "critical_paths.json"
                if args.critical_paths else None)
     records = collect(args.apps, args.cores, args.chunks,
-                      cache_path=args.json, critical_paths_path=cp_path)
+                      cache_path=args.json, critical_paths_path=cp_path,
+                      jobs=resolve_jobs(args.jobs))
     md = render_markdown(records, args.apps, args.cores, args.chunks)
     args.markdown.parent.mkdir(parents=True, exist_ok=True)
     args.markdown.write_text(md)

@@ -77,11 +77,19 @@ class Network:
         self.stats = TrafficStats()
         self.contention = config.network_contention
         #: Exploration hook: perturbs delivery latency (None = the exact
-        #: deterministic latency model).  When active, per-(src, dst)
-        #: delivery order is still preserved — real links do not reorder
-        #: packets between the same pair of endpoints.
+        #: deterministic latency model).
         self.delay_hook: Optional[DelayHook] = None
+        #: Per-(src, dst) flow: cycle of the latest delivery scheduled so
+        #: far.  Real links never reorder packets between the same pair of
+        #: endpoints, and the grab circulation (Section 3.2) depends on
+        #: that: ``send`` clamps every delivery to this time so a later
+        #: small message cannot overtake an earlier large one on its flow.
         self._last_delivery: Dict[Tuple[NodeRef, NodeRef], int] = {}
+        self._hop_cost = config.link_latency_cycles + config.router_latency_cycles
+        #: (src_tile, dst_tile) -> (links, uncontended hop latency); routes
+        #: are static under dimension-order routing, so they are computed
+        #: once instead of re-allocated per message.
+        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[tuple, ...], int]] = {}
         #: Instrumentation sink (repro.obs); null bus = zero overhead.
         self.obs: NullBus = NULL_BUS
 
@@ -116,13 +124,16 @@ class Network:
         latency, hops = self._transit_time(msg)
         if self.delay_hook is not None:
             latency += max(0, int(self.delay_hook(msg, latency)))
-            # No same-pair reordering: a perturbed packet still may not
-            # overtake (or be overtaken by) an earlier one on its flow.
-            flow = (msg.src, msg.dst)
-            deliver_at = max(self.sim.now + latency,
-                             self._last_delivery.get(flow, 0))
-            self._last_delivery[flow] = deliver_at
-            latency = deliver_at - self.sim.now
+        # No same-pair reordering, ever: point-to-point channels are
+        # ordered, so a packet may not overtake (or be overtaken by) an
+        # earlier one on its (src, dst) flow.  Without contention a small
+        # message computes a shorter transit than a large one in flight
+        # on the same flow; the clamp is what keeps the channel FIFO.
+        flow = (msg.src, msg.dst)
+        deliver_at = max(self.sim.now + latency,
+                         self._last_delivery.get(flow, 0))
+        self._last_delivery[flow] = deliver_at
+        latency = deliver_at - self.sim.now
         self.stats.record(msg, latency, hops)
         if self.obs.enabled:
             # Same (time, seq, tag) as the uninstrumented path: the only
@@ -148,17 +159,22 @@ class Network:
             return 1, 0
 
         serialization = max(1, -(-msg.size_bytes // self.config.link_width_bytes))
-        hop_cost = self.config.link_latency_cycles + self.config.router_latency_cycles
-        route = self.topology.route(src_tile, dst_tile)
+        cached = self._route_cache.get((src_tile, dst_tile))
+        if cached is None:
+            links = tuple(self.topology.route(src_tile, dst_tile))
+            cached = (links, self._hop_cost * len(links))
+            self._route_cache[(src_tile, dst_tile)] = cached
+        route, route_hop_latency = cached
 
         if not self.contention:
-            return serialization + hop_cost * len(route), len(route)
+            return serialization + route_hop_latency, len(route)
 
+        hop_cost = self._hop_cost
         time = self.sim.now
+        link_free_at = self._link_free_at
         for link in route:
-            free_at = self._link_free_at.get(link, 0)
-            depart = max(time, free_at)
-            self._link_free_at[link] = depart + serialization
+            depart = max(time, link_free_at.get(link, 0))
+            link_free_at[link] = depart + serialization
             time = depart + hop_cost
         time += serialization  # tail flits drain on the final link
         return time - self.sim.now, len(route)

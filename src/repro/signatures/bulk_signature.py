@@ -16,7 +16,7 @@ performs for chunk disambiguation on a received bulk invalidation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.signatures.hashing import HashFamily, make_hash_family
 
@@ -31,7 +31,34 @@ class SignatureFactory:
         self.total_bits = total_bits
         self.n_banks = n_banks
         self.bank_bits = total_bits // n_banks
+        self.hash_kind = hash_kind
+        self.seed = seed
         self.hashes: HashFamily = make_hash_family(hash_kind, n_banks, self.bank_bits, seed)
+        #: line address -> per-bank one-hot masks.  A workload touches each
+        #: line many times (every chunk re-inserts its read/write sets), so
+        #: hashing each line once and reusing the masks takes the hash out
+        #: of the insert/contains hot path.  Bounded by the workload's
+        #: distinct-line footprint.
+        self._mask_cache: Dict[int, Tuple[int, ...]] = {}
+
+    @property
+    def hash_params(self) -> Tuple[int, int, str, int]:
+        """Everything that determines where a line's bits land.
+
+        Two factories with equal ``hash_params`` map every address to the
+        same bit positions, so their signatures are safely comparable.
+        """
+        return (self.total_bits, self.n_banks, self.hash_kind, self.seed)
+
+    def line_masks(self, line_addr: int) -> Tuple[int, ...]:
+        """Per-bank one-hot bit masks for ``line_addr`` (memoized)."""
+        masks = self._mask_cache.get(line_addr)
+        if masks is None:
+            hashes = self.hashes
+            masks = tuple(1 << hashes.bit_index(b, line_addr)
+                          for b in range(self.n_banks))
+            self._mask_cache[line_addr] = masks
+        return masks
 
     def empty(self) -> "BulkSignature":
         """A fresh, empty signature."""
@@ -67,9 +94,9 @@ class BulkSignature:
     # ------------------------------------------------------------------
     def insert(self, line_addr: int) -> None:
         """Add a line address to the encoded set."""
-        hashes = self._factory.hashes
-        for b in range(self._factory.n_banks):
-            self._banks[b] |= 1 << hashes.bit_index(b, line_addr)
+        banks = self._banks
+        for b, mask in enumerate(self._factory.line_masks(line_addr)):
+            banks[b] |= mask
         self._count += 1
 
     def clear(self) -> None:
@@ -89,10 +116,10 @@ class BulkSignature:
     # ------------------------------------------------------------------
     def contains(self, line_addr: int) -> bool:
         """Possibly-present membership test (no false negatives)."""
-        hashes = self._factory.hashes
+        banks = self._banks
         return all(
-            self._banks[b] >> hashes.bit_index(b, line_addr) & 1
-            for b in range(self._factory.n_banks)
+            banks[b] & mask
+            for b, mask in enumerate(self._factory.line_masks(line_addr))
         )
 
     def intersects(self, other: "BulkSignature") -> bool:
@@ -124,13 +151,13 @@ class BulkSignature:
 
     def bit_count(self) -> int:
         """Total set bits across banks (density / aliasing diagnostics)."""
-        return sum(bin(b).count("1") for b in self._banks)
+        return sum(b.bit_count() for b in self._banks)
 
     def false_positive_probability(self) -> float:
         """Analytic FP rate for a membership probe against this signature."""
         prob = 1.0
         for bank in self._banks:
-            prob *= bin(bank).count("1") / self._factory.bank_bits
+            prob *= bank.bit_count() / self._factory.bank_bits
         return prob
 
     @property
@@ -152,11 +179,15 @@ class BulkSignature:
         return iter(self._banks)
 
     def _check_compatible(self, other: "BulkSignature") -> None:
-        if other._factory is not self._factory and (
-            other._factory.total_bits != self._factory.total_bits
-            or other._factory.n_banks != self._factory.n_banks
-        ):
-            raise ValueError("signatures from incompatible factories")
+        # Matching geometry is not enough: a different hash kind or seed
+        # lands the same address on different bits, and intersects() would
+        # then silently report "disjoint" for overlapping sets — a missed
+        # conflict.  The full hash-family parameters must agree.
+        if (other._factory is not self._factory
+                and other._factory.hash_params != self._factory.hash_params):
+            raise ValueError(
+                "signatures from incompatible factories: "
+                f"{self._factory.hash_params} vs {other._factory.hash_params}")
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BulkSignature):

@@ -50,7 +50,7 @@ class H3HashFamily:
     def bit_index(self, bank: int, line_addr: int) -> int:
         idx = 0
         for j, mask in enumerate(self._masks[bank]):
-            if bin(line_addr & mask).count("1") & 1:
+            if (line_addr & mask).bit_count() & 1:
                 idx |= 1 << j
         return idx
 

@@ -85,6 +85,31 @@ class TestCancellation:
         ev.cancel()
         assert sim.pending_events == 1
 
+    def test_pending_counter_matches_heap_scan(self):
+        """The O(1) live-event counter must track the ground truth (a full
+        heap scan) through schedule / cancel / double-cancel / execution."""
+        sim = Simulator()
+        events = [sim.schedule(t, lambda: None) for t in range(10)]
+        events[3].cancel()
+        events[3].cancel()  # double-cancel must not decrement twice
+        events[7].cancel()
+        scan = sum(1 for ev in sim._heap if not ev.cancelled)
+        assert sim.pending_events == scan == 8
+        sim.run(until=4)  # executes t=0..4 minus the cancelled t=3
+        scan = sum(1 for ev in sim._heap if not ev.cancelled)
+        assert sim.pending_events == scan == 4
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.quiescent()
+
+    def test_cancel_after_execution_window_is_safe(self):
+        sim = Simulator()
+        ev = sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        ev.cancel()  # already executed; must not drive the counter negative
+        assert sim.pending_events == 0
+
 
 class TestRunControl:
     def test_until_stops_clock(self):
@@ -97,6 +122,29 @@ class TestRunControl:
         assert sim.now == 50
         sim.run()
         assert hits == ["early", "late"]
+
+    def test_until_advances_clock_on_empty_queue(self):
+        """Regression: an empty queue used to leave ``now`` untouched while
+        a non-empty one advanced to ``until`` — time must pass either way."""
+        sim = Simulator()
+        sim.run(until=40)
+        assert sim.now == 40
+
+    def test_until_advances_clock_when_queue_drains_early(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5, lambda: hits.append("only"))
+        sim.run(until=40)
+        assert hits == ["only"]
+        assert sim.now == 40
+
+    def test_until_idempotent_and_monotonic(self):
+        sim = Simulator()
+        sim.run(until=10)
+        sim.run(until=10)
+        assert sim.now == 10
+        sim.run(until=30)
+        assert sim.now == 30
 
     def test_max_events_guard_raises(self):
         sim = Simulator()

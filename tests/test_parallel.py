@@ -1,0 +1,141 @@
+"""Tests for the process-pool fan-out layer (repro.harness.parallel).
+
+The contract under test: a ``--jobs N`` run must be indistinguishable from
+the serial run except for wall-clock — same results, same merge order,
+same resumable-cache contents.
+"""
+
+import json
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness import sweep
+from repro.harness.parallel import resolve_jobs, run_ordered
+
+
+# Workers must be module top-level so the pool can pickle them by reference.
+def _square(x):
+    return x * x
+
+
+def _sleep_inverse(payload):
+    """Later submissions finish first — the reordering stress case."""
+    index, delay = payload
+    time.sleep(delay)
+    return index
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("payload 3 exploded")
+    return x
+
+
+class TestResolveJobs:
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(-4) == 1
+
+
+class TestRunOrdered:
+    def test_serial_results_and_hook_order(self):
+        seen = []
+        results = run_ordered(_square, [1, 2, 3], jobs=1,
+                              on_result=lambda i, p, r: seen.append((i, p, r)))
+        assert results == [1, 4, 9]
+        assert seen == [(0, 1, 1), (1, 2, 4), (2, 3, 9)]
+
+    def test_parallel_results_match_serial(self):
+        serial = run_ordered(_square, list(range(8)), jobs=1)
+        parallel = run_ordered(_square, list(range(8)), jobs=2)
+        assert parallel == serial
+
+    def test_merge_order_is_submission_order_even_when_late_tasks_finish_first(self):
+        # First task sleeps longest; with 3 workers the others complete
+        # earlier, yet the hook must still fire 0, 1, 2.
+        payloads = [(0, 0.15), (1, 0.0), (2, 0.0)]
+        order = []
+        run_ordered(_sleep_inverse, payloads, jobs=3,
+                    on_result=lambda i, p, r: order.append(r))
+        assert order == [0, 1, 2]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="payload 3"):
+            run_ordered(_boom, [1, 2, 3, 4], jobs=2)
+        with pytest.raises(ValueError, match="payload 3"):
+            run_ordered(_boom, [1, 2, 3, 4], jobs=1)
+
+    def test_single_payload_never_builds_a_pool(self):
+        # jobs > 1 with one payload takes the inline path: a lambda (not
+        # picklable) still works.
+        assert run_ordered(lambda x: x + 1, [41], jobs=8) == [42]
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=12),
+           st.integers(2, 4))
+    def test_property_serial_and_parallel_agree(self, payloads, jobs):
+        serial_hook, parallel_hook = [], []
+        serial = run_ordered(
+            _square, payloads, jobs=1,
+            on_result=lambda i, p, r: serial_hook.append((i, p, r)))
+        parallel = run_ordered(
+            _square, payloads, jobs=jobs,
+            on_result=lambda i, p, r: parallel_hook.append((i, p, r)))
+        assert parallel == serial
+        assert parallel_hook == serial_hook
+
+
+def _strip_wall(records):
+    return {k: {f: v for f, v in rec.items() if f != "wall_seconds"}
+            for k, rec in records.items()}
+
+
+class TestSweepRoundTrip:
+    def test_serial_and_parallel_sweeps_produce_identical_json(self, tmp_path):
+        """The headline tentpole property: ``--jobs N`` changes nothing but
+        wall-clock.  Both cache files must hold the same records in the
+        same insertion order."""
+        serial_cache = tmp_path / "serial.json"
+        parallel_cache = tmp_path / "parallel.json"
+        serial = sweep.collect(["LU"], [4], 1, cache_path=serial_cache,
+                               log=lambda *a: None)
+        parallel = sweep.collect(["LU"], [4], 1, cache_path=parallel_cache,
+                                 log=lambda *a: None, jobs=2)
+        assert _strip_wall(serial) == _strip_wall(parallel)
+        on_disk_serial = json.loads(serial_cache.read_text())
+        on_disk_parallel = json.loads(parallel_cache.read_text())
+        # dict order round-trips through JSON: insertion order must match too
+        assert list(on_disk_serial) == list(on_disk_parallel)
+        assert _strip_wall(on_disk_serial) == _strip_wall(on_disk_parallel)
+
+    def test_parallel_sweep_resumes_from_serial_cache(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        sweep.collect(["LU"], [4], 1, cache_path=cache, log=lambda *a: None)
+        logs = []
+        sweep.collect(["LU"], [4], 1, cache_path=cache, log=logs.append,
+                      jobs=2)
+        assert any("5 cached, 0 to run" in line for line in logs)
+
+    def test_parallel_sweep_fills_partial_cache_in_canonical_order(self, tmp_path):
+        serial_cache = tmp_path / "full.json"
+        full = sweep.collect(["LU"], [4], 1, cache_path=serial_cache,
+                             log=lambda *a: None)
+        # drop two records from the middle; the parallel resume must slot
+        # them back so the merged dict matches the full serial sweep
+        partial = dict(full)
+        keys = list(partial)
+        for k in (keys[1], keys[3]):
+            del partial[k]
+        partial_cache = tmp_path / "partial.json"
+        partial_cache.write_text(json.dumps(partial))
+        resumed = sweep.collect(["LU"], [4], 1, cache_path=partial_cache,
+                                log=lambda *a: None, jobs=2)
+        assert _strip_wall(resumed) == _strip_wall(full)

@@ -182,6 +182,45 @@ class TestFactory:
         with pytest.raises(ValueError):
             f1.empty().intersects(f2.empty())
 
+    def test_same_geometry_different_seed_rejected(self):
+        """Regression: equal bits/banks but a different hash seed used to be
+        accepted — bit positions disagree, so ``intersects`` can silently
+        report disjoint for overlapping sets (a missed conflict)."""
+        f1 = SignatureFactory(total_bits=2048, n_banks=4, seed=2010)
+        f2 = SignatureFactory(total_bits=2048, n_banks=4, seed=2011)
+        a = f1.from_lines([1, 2, 3])
+        b = f2.from_lines([1, 2, 3])
+        with pytest.raises(ValueError, match="incompatible"):
+            a.intersects(b)
+        with pytest.raises(ValueError, match="incompatible"):
+            a.union_update(b)
+
+    def test_same_geometry_different_hash_kind_rejected(self):
+        f_mult = SignatureFactory(total_bits=2048, n_banks=4, hash_kind="mult")
+        f_h3 = SignatureFactory(total_bits=2048, n_banks=4, hash_kind="h3")
+        with pytest.raises(ValueError, match="incompatible"):
+            f_mult.from_lines([7]).intersects(f_h3.from_lines([7]))
+
+    def test_equal_hash_params_accepted_across_instances(self):
+        """Two factories with identical parameters map addresses to the
+        same bits, so cross-factory tests are meaningful and allowed."""
+        f1 = SignatureFactory(total_bits=2048, n_banks=4, seed=2010)
+        f2 = SignatureFactory(total_bits=2048, n_banks=4, seed=2010)
+        assert f1.hash_params == f2.hash_params
+        assert f1.from_lines([1, 2]).intersects(f2.from_lines([2, 9]))
+        assert not f1.from_lines([1, 2]).intersects(f2.from_lines([40, 41]))
+
+    def test_line_masks_memoized_and_consistent(self):
+        """The memoized per-line masks must agree with direct hashing."""
+        f = SignatureFactory(total_bits=2048, n_banks=4, seed=7)
+        for line in (0, 1, 17, 2**40 + 3):
+            masks = f.line_masks(line)
+            assert masks is f.line_masks(line)  # cached object reused
+            for b, mask in enumerate(masks):
+                assert mask == 1 << f.hashes.bit_index(b, line)
+        sig = f.from_lines([5, 6])
+        assert sig.contains(5) and sig.contains(6)
+
 
 class TestExactConflict:
     def test_read_write(self):

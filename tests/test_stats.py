@@ -1,6 +1,7 @@
 """Tests for metrics collection: attempts, bottleneck ratio, histograms."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.stats.histograms import Histogram, bucketize, distribution_percentages
 from repro.stats.metrics import AttemptPhase, MachineStats
@@ -54,6 +55,52 @@ class TestHistogram:
             h.add(v)
         assert h.percentile(100) == 100
         assert h.percentile(0.5) == 1   # smallest value covering 0.5%
+
+    def test_percentile_zero_returns_smallest_value(self):
+        h = Histogram()
+        for v in (5, 9, 17):
+            h.add(v)
+        assert h.percentile(0) == 5
+
+    def test_percentile_hundred_returns_largest_value(self):
+        h = Histogram()
+        for v in (5, 9, 17):
+            h.add(v)
+        assert h.percentile(100) == 17
+
+    def test_percentile_single_bucket_many_samples(self):
+        h = Histogram()
+        for _ in range(1000):
+            h.add(3)
+        for p in (0, 25, 50, 75, 100):
+            assert h.percentile(p) == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200),
+           st.floats(0, 100))
+    def test_percentile_properties(self, values, p):
+        h = Histogram()
+        for v in values:
+            h.add(v)
+        q = h.percentile(p)
+        # result is always an observed value within [min, max]
+        assert q in values
+        assert min(values) <= q <= max(values)
+        # the defining property: at least p% of samples are <= q
+        at_most = sum(1 for v in values if v <= q)
+        assert at_most >= len(values) * p / 100.0
+        # boundaries pin to the extremes
+        assert h.percentile(0) == min(values)
+        assert h.percentile(100) == max(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+    def test_percentile_monotone_in_p(self, values):
+        h = Histogram()
+        for v in values:
+            h.add(v)
+        qs = [h.percentile(p) for p in (0, 10, 25, 50, 75, 90, 100)]
+        assert qs == sorted(qs)
 
     def test_bucketize(self):
         buckets = bucketize([5, 55, 55, 1000], bucket_width=50, n_buckets=4)
