@@ -10,6 +10,7 @@ lint       protocol linter + determinism static analysis (repro.analysis)
 explore    schedule-exploration model checker (repro.analysis.explore)
 trace      instrumented run: Perfetto/JSONL/CSV export + critical path
 bench      micro + macro performance benchmarks (repro.harness.bench)
+chaos      deterministic fault-injection campaigns (repro.faults)
 """
 
 from __future__ import annotations
@@ -135,6 +136,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of bench's own flags work
         from repro.harness import bench
         return bench.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # delegate untouched so all of chaos's own flags work
+        from repro.faults import cli as chaos_cli
+        return chaos_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -180,6 +185,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                  "(see python -m repro trace -h)")
     sub.add_parser("bench", help="micro + macro performance benchmarks "
                                  "(see python -m repro bench -h)")
+    sub.add_parser("chaos", help="deterministic fault-injection campaigns "
+                                 "(see python -m repro chaos -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -17,8 +17,9 @@ from __future__ import annotations
 from repro.analysis.explore.controller import Schedule, ScheduleController
 from repro.analysis.explore.driver import ScheduleResult, run_schedule
 from repro.analysis.explore.invariants import ExploreViolation, InvariantMonitor
-from repro.analysis.explore.minimize import minimize_schedule
-from repro.analysis.explore.mutations import MUTATIONS, Mutation
+from repro.analysis.explore.minimize import ddmin, minimize_schedule
+from repro.analysis.explore.mutations import (MUTATIONS, NOMINAL_MUTATIONS,
+                                              Mutation)
 from repro.analysis.explore.scenarios import SCENARIOS, Scenario, build_machine
 from repro.analysis.explore.strategies import (
     ExplorationReport,
@@ -33,12 +34,14 @@ __all__ = [
     "InvariantMonitor",
     "MUTATIONS",
     "Mutation",
+    "NOMINAL_MUTATIONS",
     "SCENARIOS",
     "Scenario",
     "Schedule",
     "ScheduleController",
     "ScheduleResult",
     "build_machine",
+    "ddmin",
     "explore_exhaustive",
     "explore_random",
     "load_trace",

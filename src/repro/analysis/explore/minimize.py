@@ -5,11 +5,18 @@ other than 0, nonzero delays): try removing chunks of decisions, keep any
 reduction that still reproduces the original violation code, then finish
 with a one-at-a-time greedy pass.  The minimized schedule is re-run once
 more at the end so the returned result is the trace that actually ships.
+
+:func:`ddmin` is the generic core — a list of items plus a ``reproduces``
+predicate — shared with the fault-injection campaign (``repro.faults``),
+which shrinks failing :class:`~repro.faults.plan.FaultPlan` fault lists
+with the exact same algorithm.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+_Item = TypeVar("_Item")
 
 from repro.analysis.explore.controller import Schedule
 from repro.analysis.explore.driver import ScheduleResult, run_schedule
@@ -44,6 +51,46 @@ def _assemble(decisions: List[_Decision]) -> Schedule:
     return Schedule(ties=ties, delays=delays)
 
 
+def ddmin(items: List[_Item],
+          reproduces: Callable[[List[_Item]], bool]) -> List[_Item]:
+    """Shrink ``items`` to a small sublist for which ``reproduces`` holds.
+
+    The caller owns the run budget: ``reproduces`` must simply return
+    False once its budget is exhausted, and the best list found so far is
+    returned.  The input list is assumed to reproduce; the result always
+    does (it is never grown, only shrunk).
+    """
+    current = list(items)
+    # ddmin proper: remove complement chunks at increasing granularity.
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate != current and reproduces(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    # Greedy single-item sweep to catch stragglers.
+    i = 0
+    while i < len(current):
+        candidate = current[:i] + current[i + 1:]
+        if reproduces(candidate):
+            current = candidate
+        else:
+            i += 1
+    return current
+
+
 def minimize_schedule(scenario: Scenario,
                       schedule: Schedule,
                       mutation: Optional[Mutation] = None, *,
@@ -72,35 +119,8 @@ def minimize_schedule(scenario: Scenario,
             return baseline  # nothing to minimize; caller sees the clean run
         target_code = baseline.codes[0]
 
-    current = _decisions(schedule)
-    # ddmin: remove complement chunks at increasing granularity.
-    granularity = 2
-    while len(current) >= 2 and runs < max_runs:
-        chunk = max(1, len(current) // granularity)
-        reduced = False
-        start = 0
-        while start < len(current) and runs < max_runs:
-            candidate = current[:start] + current[start + chunk:]
-            if candidate != current and reproduces(candidate):
-                current = candidate
-                granularity = max(granularity - 1, 2)
-                reduced = True
-                start = 0
-            else:
-                start += chunk
-        if not reduced:
-            if granularity >= len(current):
-                break
-            granularity = min(len(current), granularity * 2)
-    # Greedy single-decision sweep to catch stragglers.
-    i = 0
-    while i < len(current) and runs < max_runs:
-        candidate = current[:i] + current[i + 1:]
-        if reproduces(candidate):
-            current = candidate
-        else:
-            i += 1
+    current = ddmin(_decisions(schedule), reproduces)
     return run_schedule(scenario, _assemble(current), mutation)
 
 
-__all__ = ["minimize_schedule"]
+__all__ = ["ddmin", "minimize_schedule"]

@@ -21,6 +21,18 @@ The three bugs (from the issue):
   (Section 3.2.1: grants are irrevocable): a revoked group may already be
   confirmed elsewhere, so its processor can observe both outcomes (SB405)
   or the protocol wedges on the orphaned state (SB403/404).
+
+A fourth bug is registered with ``chaos_only=True`` and excluded from the
+nominal exploration suites (``--mutations`` / ``--ci-smoke``):
+
+* ``reservation-leak`` — a module never releases its starvation
+  reservation once the reserved chunk commits (Section 3.2.2).  The bug
+  is *invisible* until a reservation actually forms, which takes
+  ``starvation_max_squashes`` genuine collisions of one chunk — far more
+  than the tiny exploration scenarios produce under nominal timing.  The
+  fault-injection campaign (``repro.faults``) reaches it with a squash
+  storm: the reservation forms, the reserved chunk commits, the stale
+  reservation then defers every later group forever (SB403/SB404).
 """
 
 from __future__ import annotations
@@ -42,6 +54,9 @@ class Mutation:
     scenario: str                    #: scenario name the CI sweep pairs it with
     expected: str                    #: SB4xx codes that count as detection
     apply: Callable[[Any], None]     #: patches a freshly built machine
+    #: True: only the chaos campaign can reach the bug; the nominal
+    #: exploration suites skip it (and a test asserts they would miss it).
+    chaos_only: bool = False
 
 
 def _sb_directories(machine: Any) -> List[ScalableBulkDirectory]:
@@ -92,6 +107,13 @@ def apply_collision_wrong_winner(machine: Any) -> None:
         directory._resolve_collision = resolve
 
 
+def apply_reservation_leak(machine: Any) -> None:
+    for directory in _sb_directories(machine):
+        def release(cid: Any) -> None:
+            del cid  # bug: the reservation (and its tally) outlive the commit
+        directory._release_reservation = release
+
+
 #: every mutation, keyed by name, with its paired scenario
 MUTATIONS: Dict[str, Mutation] = {
     m.name: m
@@ -118,8 +140,23 @@ MUTATIONS: Dict[str, Mutation] = {
             expected="SB403/SB404/SB405",
             apply=apply_collision_wrong_winner,
         ),
+        Mutation(
+            name="reservation-leak",
+            description="starvation reservation never released after the "
+                        "reserved chunk commits",
+            scenario="cross3",
+            expected="SB403/SB404",
+            apply=apply_reservation_leak,
+            chaos_only=True,
+        ),
     )
 }
 
-__all__ = ["MUTATIONS", "Mutation", "apply_collision_wrong_winner",
-           "apply_drop_commit_nack", "apply_skip_w_intersection"]
+#: the nominal suites' view: every mutation exploration must catch
+NOMINAL_MUTATIONS: Dict[str, Mutation] = {
+    name: m for name, m in MUTATIONS.items() if not m.chaos_only
+}
+
+__all__ = ["MUTATIONS", "Mutation", "NOMINAL_MUTATIONS",
+           "apply_collision_wrong_winner", "apply_drop_commit_nack",
+           "apply_reservation_leak", "apply_skip_w_intersection"]

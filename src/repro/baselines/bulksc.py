@@ -133,12 +133,30 @@ class BulkSCArbiter:
         return False
 
     def _on_dir_done(self, msg: Message) -> None:
-        entry = self.in_flight.get(msg.ctag)
+        """Final-ack bookkeeping occupies the serial service port too.
+
+        The arbiter is a single FIFO pipeline: retiring a directory ack
+        contends with commit decisions for the same port (base cost only —
+        no signature scan is needed to retire an ack), so a commit-heavy
+        phase also slows ack retirement.  Retiring in zero time would let
+        the entry vanish "for free" while a decision is mid-service.
+        """
+        if msg.ctag not in self.in_flight:
+            return
+        service = self.config.arbiter_base_service_cycles
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self.sim.schedule(
+            self._busy_until - self.sim.now,
+            lambda: self._retire(msg.ctag, msg.payload["dir_id"]))
+
+    def _retire(self, cid, dir_id: int) -> None:
+        entry = self.in_flight.get(cid)
         if entry is None:
             return
-        entry.dirs_pending.discard(msg.payload["dir_id"])
+        entry.dirs_pending.discard(dir_id)
         if not entry.dirs_pending:
-            del self.in_flight[msg.ctag]
+            del self.in_flight[cid]
 
 
 class BulkSCDirectory(DirectoryModule):

@@ -1,0 +1,23 @@
+"""Deterministic fault injection + chaos campaigns (``python -m repro chaos``).
+
+Layers (see docs/robustness.md):
+
+* :mod:`repro.faults.plan` — serializable, seeded :class:`FaultPlan`;
+* :mod:`repro.faults.injectors` — realize a plan against a machine;
+* :mod:`repro.faults.watchdog` — read-only liveness watchdog;
+* :mod:`repro.faults.campaign` — campaign generation, verdicts,
+  ddmin shrinking, replayable artifacts, the mutation check;
+* :mod:`repro.faults.cli` — the ``chaos`` subcommand.
+"""
+
+from repro.faults.injectors import FaultEngine, apply_plan
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, PLAN_VERSION
+from repro.faults.watchdog import (DEFAULT_MAX_FIRES, DEFAULT_WINDOW,
+                                   LivenessWatchdog, WatchdogFire,
+                                   attach_watchdog, machine_snapshot)
+
+__all__ = [
+    "DEFAULT_MAX_FIRES", "DEFAULT_WINDOW", "FAULT_KINDS", "FaultEngine",
+    "FaultPlan", "FaultSpec", "LivenessWatchdog", "PLAN_VERSION",
+    "WatchdogFire", "apply_plan", "attach_watchdog", "machine_snapshot",
+]

@@ -1,0 +1,217 @@
+"""``python -m repro chaos``: seeded fault-injection campaigns.
+
+Modes:
+
+* default — generate ``--plans N`` fault plans from ``--seed`` (rotated
+  over the campaign scenarios, or pinned with ``--scenario``) and run
+  each with the liveness watchdog and the full invariant monitor
+  attached.  Exit 1 on any safety/liveness violation or watchdog fire;
+  failing plans are ddmin-shrunk and written as replayable artifacts
+  under ``--artifacts DIR`` (or shown inline).
+* ``--replay ARTIFACT`` — re-run a saved failure artifact; exit 0 iff
+  the replay reproduces the artifact's primary violation code.
+* ``--mutation-check`` — the campaign's teeth test: every registered
+  mutation runs nominally *and* under a storm-heavy stress plan.  Exit 1
+  unless each chaos-only mutation (e.g. ``reservation-leak``) is caught
+  under chaos and — demonstrating why chaos is needed — missed nominally.
+* ``--list`` — fault kinds, campaign scenarios and chaos-only mutations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.explore.mutations import MUTATIONS
+from repro.analysis.explore.scenarios import SCENARIOS
+from repro.faults.campaign import (DEFAULT_SCENARIOS, artifact_json,
+                                   chaos_worker, generate_campaign,
+                                   load_artifact, mutation_check_worker,
+                                   replay_artifact)
+from repro.faults.plan import FAULT_KINDS
+from repro.faults.watchdog import DEFAULT_WINDOW
+
+
+def _cmd_list() -> int:
+    print("fault kinds:")
+    for kind, params in FAULT_KINDS.items():
+        print(f"  {kind:14s} ({', '.join(params)})")
+    print("campaign scenarios:")
+    for name in DEFAULT_SCENARIOS:
+        s = SCENARIOS[name]
+        print(f"  {name:10s} {s.protocol.value:13s} {s.n_cores} cores, "
+              f"pattern={s.pattern}, oci={s.oci}")
+    print("chaos-only mutations (run via --mutation-check):")
+    for name, m in MUTATIONS.items():
+        if m.chaos_only:
+            print(f"  {name:24s} on {m.scenario}: {m.description} "
+                  f"(expect {m.expected})")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    data = load_artifact(args.replay)
+    result = replay_artifact(data)
+    want = [str(v["code"]) for v in data.get("violations", ())]
+    got = result.codes
+    print(f"replay of {args.replay}: expected {want or 'clean'}, "
+          f"got {got or 'clean'} "
+          f"({result.commits} commits, {result.cycles:,} cycles, "
+          f"{len(result.watchdog_fires)} watchdog fires)")
+    ok = (want[0] in got) if want else result.ok
+    return 0 if ok else 1
+
+
+def _cmd_mutation_check(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import run_ordered
+    payloads = [{"mutation": name, "seed": args.seed}
+                for name in sorted(MUTATIONS)]
+    bad: List[str] = []
+
+    def show(_i: int, _payload: Dict[str, Any],
+             r: Dict[str, Any]) -> None:
+        nominal = "/".join(r["nominal_codes"]) or "clean"
+        chaos = "/".join(r["chaos_codes"]) or "clean"
+        line = (f"  {r['mutation']:24s} nominal={nominal:12s} "
+                f"chaos={chaos}")
+        if not r["chaos_only"]:
+            # Nominal mutations are the explore suite's contract; here
+            # they are report-only (chaos may or may not re-catch them).
+            print(line)
+            return
+        if r["chaos_caught"] and not r["nominal_caught"]:
+            print(f"{line}  [chaos-only: caught under chaos, "
+                  f"invisible nominally]")
+        else:
+            why = ("missed under chaos" if not r["chaos_caught"]
+                   else "already visible nominally")
+            print(f"{line}  FAIL ({why}, expected {r['expected']})")
+            bad.append(r["mutation"])
+
+    print(f"mutation check (seed {args.seed}, storm-heavy stress plan):")
+    run_ordered(mutation_check_worker, payloads, jobs=args.jobs,
+                on_result=show)
+    if bad:
+        print(f"{len(bad)} chaos-only mutation(s) failed the check: "
+              f"{', '.join(bad)}")
+        return 1
+    print("mutation check passed: chaos catches what nominal timing "
+          "cannot")
+    return 0
+
+
+def _artifact_path(directory: str, scenario: str, plan_name: str) -> str:
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{scenario}-{plan_name}.json")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import run_ordered
+    if args.scenario is not None:
+        if args.scenario not in SCENARIOS:
+            raise SystemExit(f"unknown scenario {args.scenario!r} "
+                             f"(choices: {', '.join(SCENARIOS)})")
+        names: Sequence[str] = [args.scenario]
+    else:
+        names = DEFAULT_SCENARIOS
+    campaign = generate_campaign(args.seed, args.plans, names)
+    payloads = [{
+        "scenario": scenario,
+        "plan": plan.to_json(),
+        "watchdog": args.watchdog,
+        "max_events": args.max_events,
+        "minimize": args.minimize,
+    } for scenario, plan in campaign]
+    failures: List[str] = []
+
+    def show(_i: int, _payload: Dict[str, Any],
+             r: Dict[str, Any]) -> None:
+        if r["ok"]:
+            print(f"clean   {r['plan_name']} on {r['scenario']:8s} "
+                  f"({r['n_faults']} faults, {r['commits']} commits, "
+                  f"{r['cycles']:,} cycles)")
+            return
+        failures.append(r["plan_name"])
+        codes = "/".join(r["codes"]) or "watchdog"
+        print(f"FAIL    {r['plan_name']} on {r['scenario']:8s} "
+              f"{codes} ({r['watchdog_fires']} watchdog fires)")
+        artifact = r.get("artifact")
+        if artifact is None:
+            return
+        for v in artifact["violations"]:
+            print(f"  {v['code']} [{v['rule']}] t={v['time']}: "
+                  f"{v['detail']}")
+        if args.artifacts:
+            path = _artifact_path(args.artifacts, r["scenario"],
+                                  r["plan_name"])
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"  artifact ({len(artifact['plan']['faults'])} faults "
+                  f"after shrink) -> {path}")
+
+    print(f"chaos campaign: {args.plans} plans, seed {args.seed}, "
+          f"scenarios {', '.join(names)}")
+    run_ordered(chaos_worker, payloads, jobs=args.jobs, on_result=show)
+    if failures:
+        print(f"{len(failures)} plan(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"all {args.plans} plans clean (no safety or liveness "
+          f"violations, no watchdog fires)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="deterministic fault-injection campaigns against the "
+                    "protocol engines (see docs/robustness.md)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; every plan derives from it")
+    parser.add_argument("--plans", type=int, default=25,
+                        help="number of fault plans to generate "
+                             "(default 25)")
+    parser.add_argument("--scenario", default=None,
+                        help="pin one scenario instead of the campaign "
+                             "rotation (see --list)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="fan plans out over N worker processes "
+                             "(0 = all cores); verdicts and exit codes "
+                             "are unchanged")
+    parser.add_argument("--watchdog", type=int, default=DEFAULT_WINDOW,
+                        metavar="CYCLES",
+                        help="liveness watchdog window (default "
+                             f"{DEFAULT_WINDOW})")
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="override the per-run event budget")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write shrunk failure artifacts here")
+    parser.add_argument("--no-minimize", dest="minimize",
+                        action="store_false",
+                        help="keep failing plans as generated instead of "
+                             "ddmin-shrinking them")
+    parser.add_argument("--replay", default=None, metavar="ARTIFACT",
+                        help="re-run a saved failure artifact and check "
+                             "it reproduces")
+    parser.add_argument("--mutation-check", action="store_true",
+                        help="teeth test: chaos-only bugs must be caught "
+                             "under chaos and missed nominally")
+    parser.add_argument("--list", action="store_true",
+                        help="list fault kinds, scenarios and chaos-only "
+                             "mutations, then exit")
+    args = parser.parse_args(argv)
+    from repro.harness.parallel import resolve_jobs
+    args.jobs = resolve_jobs(args.jobs)
+
+    if args.list:
+        return _cmd_list()
+    if args.replay:
+        return _cmd_replay(args)
+    if args.mutation_check:
+        return _cmd_mutation_check(args)
+    return _cmd_campaign(args)
+
+
+__all__ = ["main"]

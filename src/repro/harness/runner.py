@@ -208,10 +208,20 @@ class SimulationRunner:
     def run(self, keep_machine: bool = False,
             max_events: int = DEFAULT_EVENT_GUARD,
             oracle: bool = False,
-            bus: Optional[InstrumentationBus] = None) -> RunResult:
+            bus: Optional[InstrumentationBus] = None,
+            faults=None, watchdog: Optional[int] = None) -> RunResult:
         machine = Machine(self.config, workload=self.workload)
+        # Fault injectors install first so the oracle and the bus observe
+        # the injured machine exactly as they observe a nominal one.  An
+        # empty plan installs nothing: the run stays byte-identical.
+        if faults is not None:
+            from repro.faults.injectors import apply_plan
+            apply_plan(faults, machine)
         if bus is not None:
             attach_bus(machine, bus)
+        if watchdog is not None:
+            from repro.faults.watchdog import attach_watchdog
+            attach_watchdog(machine, window=watchdog, bus=bus)
         checker = attach_oracle(machine) if oracle else None
         machine.run(max_events=max_events)
         if checker is not None:
@@ -226,12 +236,16 @@ def run_app(app: str, *, n_cores: int = 16,
             n_partitions: Optional[int] = None, access_scale: float = 1.0,
             keep_machine: bool = False, oracle: bool = False,
             bus: Optional[InstrumentationBus] = None,
+            faults=None, watchdog: Optional[int] = None,
             **config_overrides) -> RunResult:
     """One-call experiment: build the Table 2 machine and run one app.
 
     ``oracle=True`` attaches the global invalidation oracle and raises at
     the end of the run if any commit missed a conflicting chunk.
     ``bus`` attaches an instrumentation bus (repro.obs) before the run.
+    ``faults`` installs a :class:`repro.faults.FaultPlan`'s injectors and
+    ``watchdog`` attaches the liveness watchdog with the given window
+    (both imported lazily: nominal runs never touch repro.faults).
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol,
                           **config_overrides)
@@ -239,7 +253,8 @@ def run_app(app: str, *, n_cores: int = 16,
         app, config, active_cores=active_cores,
         chunks_per_partition=chunks_per_partition,
         n_partitions=n_partitions, access_scale=access_scale)
-    return runner.run(keep_machine=keep_machine, oracle=oracle, bus=bus)
+    return runner.run(keep_machine=keep_machine, oracle=oracle, bus=bus,
+                      faults=faults, watchdog=watchdog)
 
 
 __all__ = ["DEFAULT_EVENT_GUARD", "Machine", "RunResult", "SimulationRunner",

@@ -80,7 +80,6 @@ class MessageType(Enum):
     BSC_NACK = "bsc_nack"                 #: Arbiter -> Proc: retry later
     BSC_W_TO_DIR = "bsc_w_to_dir"         #: Arbiter -> Dir(s): W for state update
     BSC_DIR_DONE = "bsc_dir_done"         #: Dir -> Arbiter: state updated
-    BSC_DONE = "bsc_done"                 #: Proc -> Arbiter: commit complete
 
     # --- Scalable TCC ------------------------------------------------------
     TID_REQ = "tid_req"                   #: Proc -> central TID vendor
@@ -131,7 +130,7 @@ _COMMIT_TYPES = {
     MessageType.BULK_INV, MessageType.BULK_INV_ACK, MessageType.COMMIT_DONE,
     MessageType.COMMIT_RECALL, MessageType.BULK_INV_NACK,
     MessageType.BSC_COMMIT_REQ, MessageType.BSC_OK, MessageType.BSC_NACK,
-    MessageType.BSC_W_TO_DIR, MessageType.BSC_DIR_DONE, MessageType.BSC_DONE,
+    MessageType.BSC_W_TO_DIR, MessageType.BSC_DIR_DONE,
     MessageType.TID_REQ, MessageType.TID_GRANT, MessageType.TCC_PROBE,
     MessageType.TCC_SKIP, MessageType.TCC_MARK, MessageType.TCC_INV,
     MessageType.TCC_INV_ACK, MessageType.TCC_DIR_DONE, MessageType.TCC_COMMIT_DONE,

@@ -29,9 +29,30 @@ from repro.obs.bus import NULL_BUS, NullBus
 
 Handler = Callable[[Message], None]
 
-#: Exploration hook: given (message, model latency) return extra delay
-#: cycles (>= 0) to add before delivery.  See repro.analysis.explore.
+#: Exploration/fault hook: given (message, model latency) return extra
+#: delay cycles (>= 0) to add before delivery.  See repro.analysis.explore
+#: and repro.faults.  Hook output feeds ``send``'s per-flow FIFO clamp, so
+#: no hook — however adversarial — can reorder a (src, dst) channel.
 DelayHook = Callable[[Message, int], int]
+
+
+def compose_delay_hooks(*hooks: Optional[DelayHook]) -> Optional[DelayHook]:
+    """Chain delay hooks: extra delays add up, Nones drop out.
+
+    Lets fault injection stack on top of an already-installed exploration
+    hook instead of silently replacing it.  Returns None when no live hook
+    remains, preserving the zero-overhead default path.
+    """
+    live = [h for h in hooks if h is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def chained(msg: Message, latency: int) -> int:
+        return sum(max(0, int(h(msg, latency))) for h in live)
+
+    return chained
 
 
 class TrafficStats:
@@ -200,4 +221,5 @@ class Network:
         return dict(self._link_free_at)
 
 
-__all__ = ["DelayHook", "Handler", "Network", "TrafficStats"]
+__all__ = ["DelayHook", "Handler", "Network", "TrafficStats",
+           "compose_delay_hooks"]

@@ -44,6 +44,7 @@ hook               emitted from                       payload
 ``dir_nack``       directory engines                  dir, cid, nacker
 ``oci_recall``     core/processor_engine.py           cid, collision dir
 ``arbiter_decision`` baselines/bulksc.py              cid, ok, in-flight
+``watchdog_fire``  faults/watchdog.py                 fires, commits, state
 =================  =================================  =====================
 """
 
@@ -73,6 +74,7 @@ DIR_OCCUPANCY = "dir_occupancy"
 DIR_NACK = "dir_nack"
 OCI_RECALL = "oci_recall"
 ARBITER_DECISION = "arbiter_decision"
+WATCHDOG_FIRE = "watchdog_fire"
 
 #: Hooks that feed gauges only and never enter the event stream.
 GAUGE_ONLY_KINDS = frozenset({SIM_STEP, DIR_OCCUPANCY})
@@ -195,6 +197,12 @@ class NullBus:
                          in_flight: int) -> None:
         """The BulkSC arbiter granted (ok) or nacked a commit request."""
 
+    # -- fault injection (repro.faults) --------------------------------
+    def watchdog_fire(self, time: int, fires: int, commits: int,
+                      snapshot: Dict[str, Any]) -> None:
+        """The liveness watchdog saw a commit-free window; ``snapshot`` is
+        the live group/CST/reservation state it dumped."""
+
 
 #: The shared default sink.  Never mutated; safe to share machine-wide.
 NULL_BUS = NullBus()
@@ -305,6 +313,12 @@ class InstrumentationBus(NullBus):
         self._emit(time, ARBITER_DECISION, "arbiter", cid, ok=ok,
                    in_flight=in_flight)
 
+    # -- fault injection -------------------------------------------------
+    def watchdog_fire(self, time: int, fires: int, commits: int,
+                      snapshot: Dict[str, Any]) -> None:
+        self._emit(time, WATCHDOG_FIRE, "watchdog", None, fires=fires,
+                   commits=commits, snapshot=snapshot)
+
     # ------------------------------------------------------------------
     def of_kind(self, *kinds: str) -> List[ObsEvent]:
         return [e for e in self.events if e.kind in kinds]
@@ -353,5 +367,5 @@ __all__ = [
     "EXEC_DONE", "EXEC_START", "GAUGE_ONLY_KINDS", "GRAB_ADMIT",
     "GRAB_RECV", "GROUP_FAILED", "GROUP_FORMED", "MSG_RECV", "MSG_SEND",
     "NULL_BUS", "NullBus", "InstrumentationBus", "ObsEvent", "OCI_RECALL",
-    "SIM_STEP", "SQUASH", "attach_bus", "ctag_str",
+    "SIM_STEP", "SQUASH", "WATCHDOG_FIRE", "attach_bus", "ctag_str",
 ]

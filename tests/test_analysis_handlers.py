@@ -25,11 +25,10 @@ class TestRepoIsClean:
     def test_every_scalablebulk_table1_type_flows(self):
         """Sanity: the pass actually sees the Table 1 conversation."""
         findings = lint_handlers()
-        # COMMIT_RECALL is piggy-backed by design and BSC_DONE is folded
-        # into BSC_DIR_DONE; nothing else may be orphaned.
+        # COMMIT_RECALL is piggy-backed by design; nothing else may be
+        # orphaned.
         orphans = {f.anchor for f in findings if f.code == "SB004"}
-        assert orphans <= {"MessageType.COMMIT_RECALL",
-                           "MessageType.BSC_DONE"}
+        assert orphans <= {"MessageType.COMMIT_RECALL"}
 
 
 class TestSeededDefects:

@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.explore import (
     MUTATIONS,
+    NOMINAL_MUTATIONS,
     SCENARIOS,
     Schedule,
     ScheduleController,
@@ -163,7 +164,7 @@ class TestUnmutatedClean:
 
 
 class TestMutationsCaught:
-    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    @pytest.mark.parametrize("name", sorted(NOMINAL_MUTATIONS))
     def test_mutation_detected_and_replayable(self, name, tmp_path):
         mutation = MUTATIONS[name]
         scenario = SCENARIOS[mutation.scenario]
@@ -189,6 +190,19 @@ class TestMutationsCaught:
         with pytest.raises(ValueError):
             MUTATIONS["drop-commit-nack"].apply(
                 build_machine(SCENARIOS["tcc3"]))
+
+    def test_chaos_only_mutation_survives_nominal_exploration(self):
+        """reservation-leak is why the chaos campaign exists: without
+        fault injection the reservation machinery never engages in these
+        micro-scenarios, so nominal exploration cannot reach the bug.
+        ``python -m repro chaos --mutation-check`` proves chaos catches
+        it (see docs/robustness.md)."""
+        mutation = MUTATIONS["reservation-leak"]
+        assert mutation.chaos_only
+        assert mutation.name not in NOMINAL_MUTATIONS
+        report = explore_exhaustive(SCENARIOS[mutation.scenario], mutation,
+                                    max_schedules=60, depth=8)
+        assert report.clean, report.violation.violations
 
 
 class TestTraceFormat:

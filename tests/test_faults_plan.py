@@ -1,0 +1,108 @@
+"""FaultPlan/FaultSpec: validation and the JSON fixed-point property."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import generate_campaign
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, PLAN_VERSION
+
+
+class TestFaultSpec:
+    def test_make_validates_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.make("meteor-strike", start=0, duration=1)
+
+    def test_make_rejects_missing_params(self):
+        with pytest.raises(ValueError, match="missing params"):
+            FaultSpec.make("latency-spike", start=0, duration=1, extra=5)
+
+    def test_make_rejects_extra_params(self):
+        with pytest.raises(ValueError, match="unexpected"):
+            FaultSpec.make("squash-storm", start=0, duration=1, prob=0.5,
+                           color="red")
+
+    def test_getitem(self):
+        spec = FaultSpec.make("dir-stall", dir=2, start=10, duration=100,
+                              extra=7)
+        assert spec["dir"] == 2
+        assert spec["extra"] == 7
+        with pytest.raises(KeyError):
+            spec["nope"]
+
+    def test_every_kind_round_trips(self):
+        samples = {
+            "latency-spike": dict(start=0, duration=9, extra=3, jitter=2),
+            "link-hotspot": dict(tile=1, start=5, duration=9, extra=3),
+            "dir-stall": dict(dir=0, start=5, duration=9, extra=3),
+            "squash-storm": dict(start=5, duration=9, prob=0.66),
+            "core-jitter": dict(core=2, start=5, duration=9, max_extra=4),
+        }
+        assert set(samples) == set(FAULT_KINDS)
+        for kind, params in samples.items():
+            spec = FaultSpec.make(kind, **params)
+            assert FaultSpec.from_json(spec.to_json()) == spec
+
+
+class TestFaultPlanJson:
+    def _plan(self):
+        return FaultPlan(name="p", seed=42, faults=(
+            FaultSpec.make("latency-spike", start=0, duration=100, extra=9,
+                           jitter=4),
+            FaultSpec.make("squash-storm", start=50, duration=500, prob=0.8),
+        ))
+
+    def test_serialize_deserialize_serialize_fixed_point(self):
+        """The property the campaign machinery leans on everywhere."""
+        plan = self._plan()
+        once = plan.dumps()
+        twice = FaultPlan.loads(once).dumps()
+        assert once == twice
+        assert FaultPlan.loads(once) == plan
+
+    def test_generated_plans_hold_the_fixed_point(self):
+        for _scenario, plan in generate_campaign(seed=3, n_plans=14):
+            assert FaultPlan.loads(plan.dumps()).dumps() == plan.dumps()
+
+    def test_version_gate(self):
+        bad = json.loads(self._plan().dumps())
+        bad["version"] = PLAN_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json(bad)
+
+    def test_empty_plan(self):
+        plan = FaultPlan.empty(seed=7)
+        assert plan.faults == ()
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_with_faults_keeps_identity(self):
+        plan = self._plan()
+        shrunk = plan.with_faults([plan.faults[1]])
+        assert shrunk.name == plan.name
+        assert shrunk.seed == plan.seed
+        assert shrunk.faults == (plan.faults[1],)
+
+
+class TestCampaignGeneration:
+    def test_same_seed_same_campaign(self):
+        a = generate_campaign(seed=5, n_plans=10)
+        b = generate_campaign(seed=5, n_plans=10)
+        assert a == b
+
+    def test_different_seed_different_campaign(self):
+        a = generate_campaign(seed=5, n_plans=10)
+        b = generate_campaign(seed=6, n_plans=10)
+        assert a != b
+
+    def test_campaign_prefix_stable(self):
+        """Raising --plans only appends: each plan's substream is keyed by
+        its index, never by draw order."""
+        short = generate_campaign(seed=5, n_plans=5)
+        long = generate_campaign(seed=5, n_plans=10)
+        assert long[:5] == short
+
+    def test_no_squash_storm_on_baseline_scenarios(self):
+        for scenario, plan in generate_campaign(seed=1, n_plans=28):
+            if scenario in ("tcc3", "bulksc3", "seq3"):
+                kinds = {f.kind for f in plan.faults}
+                assert "squash-storm" not in kinds, (scenario, kinds)

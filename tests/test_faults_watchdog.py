@@ -1,0 +1,112 @@
+"""Liveness watchdog: fires on stalls, stays silent on progress."""
+
+import pytest
+
+from repro.analysis.explore.mutations import MUTATIONS
+from repro.analysis.explore.scenarios import SCENARIOS, build_machine
+from repro.faults.campaign import run_plan, stress_plan
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import (LivenessWatchdog, attach_watchdog,
+                                   machine_snapshot)
+from repro.obs.bus import WATCHDOG_FIRE, InstrumentationBus, attach_bus
+
+
+def _run(machine, max_events=150_000):
+    try:
+        machine.run(max_events=max_events, prewarm=False)
+    except RuntimeError:
+        pass
+
+
+class TestQuietOnProgress:
+    def test_no_fires_on_clean_run(self):
+        machine = build_machine(SCENARIOS["mixed3"])
+        dog = attach_watchdog(machine, window=500)
+        _run(machine)
+        assert dog.fires == []
+        assert dog.checks >= 1
+
+    def test_watchdog_rejects_nonpositive_window(self):
+        machine = build_machine(SCENARIOS["mixed3"])
+        with pytest.raises(ValueError):
+            LivenessWatchdog(machine, window=0)
+
+
+class TestFiresOnStall:
+    def _wedged_machine(self):
+        """reservation-leak + a forced permanent reservation: directory 2
+        defers every group for an identity that committed long ago."""
+        scenario = SCENARIOS["cross3"]
+        machine = build_machine(scenario)
+        MUTATIONS["reservation-leak"].apply(machine)
+        from repro.core.directory_engine import ScalableBulkDirectory
+        for directory in machine.directories:
+            if isinstance(directory, ScalableBulkDirectory):
+                directory.reserved_for = (99, 99)  # never matches, never fails
+        return machine
+
+    def test_fires_are_bounded_and_run_terminates(self):
+        # The deferred groups keep the cores' retry loop alive, so this
+        # wedge surfaces as livelock (max_events) rather than a drained
+        # heap; either way the watchdog stops at max_fires.
+        machine = self._wedged_machine()
+        dog = attach_watchdog(machine, window=2_000, max_fires=3)
+        with pytest.raises(RuntimeError,
+                           match="max_events|unfinished cores"):
+            machine.run(max_events=200_000, prewarm=False)
+        assert len(dog.fires) == 3
+        # Fires carry the live CST state for post-mortem debugging.
+        snap = dog.fires[-1].snapshot
+        assert snap["dirs"], snap
+        assert any(d["reserved_for"] == [99, 99] for d in snap["dirs"])
+        assert any(not c["finished"] for c in snap["cores"])
+
+    def test_fire_json_round_trips(self):
+        machine = self._wedged_machine()
+        dog = attach_watchdog(machine, window=2_000, max_fires=1)
+        with pytest.raises(RuntimeError):
+            machine.run(max_events=10**6, prewarm=False)
+        import json
+        blob = json.dumps([f.to_json() for f in dog.fires], sort_keys=True)
+        assert json.loads(blob)[0]["commits"] == dog.fires[0].commits
+
+    def test_fires_reach_the_obs_bus(self):
+        machine = self._wedged_machine()
+        bus = InstrumentationBus()
+        attach_bus(machine, bus)
+        attach_watchdog(machine, window=2_000, max_fires=2, bus=bus)
+        with pytest.raises(RuntimeError):
+            machine.run(max_events=10**6, prewarm=False)
+        hooks = [e for e in bus.events if e.kind == WATCHDOG_FIRE]
+        assert len(hooks) == 2
+        assert hooks[0].fields["snapshot"]["dirs"]
+
+
+class TestSnapshot:
+    def test_snapshot_is_read_only_and_jsonable(self):
+        import json
+        machine = build_machine(SCENARIOS["cross3"])
+        machine.run(max_events=150_000, prewarm=False)
+        snap = machine_snapshot(machine)
+        json.dumps(snap)  # must not raise
+        assert snap["time"] == int(machine.sim.now)
+        assert len(snap["cores"]) == 3
+        assert all(c["finished"] for c in snap["cores"])
+
+    def test_run_plan_surfaces_watchdog_fires(self):
+        """run_plan wires the watchdog verdict into the chaos result."""
+        scenario = SCENARIOS["cross3"]
+        result = run_plan(scenario, FaultPlan.empty(), watchdog_window=500)
+        assert result.watchdog_fires == []
+        assert result.ok
+
+    def test_run_plan_detects_leak_under_storm(self):
+        """The headline behaviour: reservation-leak wedges the machine
+        under a squash storm, and both the watchdog and the liveness
+        invariants see it."""
+        scenario = SCENARIOS["cross3"]
+        result = run_plan(scenario, stress_plan(0),
+                          mutation=MUTATIONS["reservation-leak"],
+                          watchdog_window=5_000)
+        assert set(result.codes) & {"SB403", "SB404"}, result.codes
+        assert result.watchdog_fires

@@ -8,7 +8,7 @@ from repro.network.message import (
     Message, MessageType, TrafficClass, core_node, default_size_bytes,
     dir_node, traffic_class_of, SCALABLEBULK_TABLE1_TYPES,
 )
-from repro.network.noc import Network
+from repro.network.noc import Network, compose_delay_hooks
 
 
 def make_net(n_cores=4, contention=True, **kw):
@@ -243,3 +243,87 @@ class TestFlowFifo:
         sim.run()
         assert arrivals[0][0] == first.uid
         assert arrivals[0][1] <= arrivals[1][1]
+
+
+class TestHostileDelayHook:
+    """A delay hook may stretch time but must never reorder a flow.
+
+    Fault injection (repro.faults) and schedule exploration both ride
+    ``delay_hook``; the hook runs *before* the per-(src, dst) clamp, so
+    even an adversarial hook — huge delay for the leader, zero for the
+    follower — cannot reintroduce same-flow overtaking.
+    """
+
+    def test_leader_delayed_hugely_still_arrives_first(self):
+        _, sim, net = make_net(n_cores=16, contention=False)
+        seen = []
+
+        def hostile(msg, latency):
+            # Enormous delay for the first message only.
+            seen.append(msg.uid)
+            return 10_000 if len(seen) == 1 else 0
+
+        net.delay_hook = hostile
+        order = []
+        net.register(core_node(3), lambda m: order.append(m.uid))
+        first = net.unicast(MessageType.COMMIT_REQUEST, core_node(0),
+                            core_node(3), ctag="c")
+        second = net.unicast(MessageType.G, core_node(0), core_node(3),
+                             ctag="c", inval_vec=set(), order=())
+        sim.run()
+        assert order == [first.uid, second.uid]
+
+    def test_adversarial_decreasing_delays_keep_send_order(self):
+        _, sim, net = make_net(n_cores=16, contention=False)
+        remaining = [5_000, 2_500, 600, 40, 0]
+
+        def hostile(msg, latency):
+            return remaining.pop(0) if remaining else 0
+
+        net.delay_hook = hostile
+        order = []
+        net.register(core_node(3), lambda m: order.append(m.uid))
+        sent = [net.unicast(MessageType.G, core_node(0), core_node(3),
+                            ctag="c", inval_vec=set(), order=()).uid
+                for _ in range(5)]
+        sim.run()
+        assert order == sent
+
+    def test_negative_hook_output_is_clamped(self):
+        """A hook may not *accelerate* a message below the model latency."""
+        _, sim1, net1 = make_net(n_cores=16, contention=False)
+        base = []
+        net1.register(core_node(3), lambda m: base.append(sim1.now))
+        net1.unicast(MessageType.G, core_node(0), core_node(3), ctag="c",
+                     inval_vec=set(), order=())
+        sim1.run()
+
+        _, sim2, net2 = make_net(n_cores=16, contention=False)
+        net2.delay_hook = lambda msg, latency: -10_000
+        hooked = []
+        net2.register(core_node(3), lambda m: hooked.append(sim2.now))
+        net2.unicast(MessageType.G, core_node(0), core_node(3), ctag="c",
+                     inval_vec=set(), order=())
+        sim2.run()
+        assert hooked == base
+
+    def test_composed_hooks_sum_and_respect_fifo(self):
+        _, sim, net = make_net(n_cores=16, contention=False)
+        net.delay_hook = compose_delay_hooks(lambda m, l: 7, lambda m, l: 5)
+        times = []
+        net.register(core_node(3), lambda m: times.append(sim.now))
+        net.unicast(MessageType.G, core_node(0), core_node(3), ctag="c",
+                    inval_vec=set(), order=())
+        sim.run()
+        _, sim2, net2 = make_net(n_cores=16, contention=False)
+        plain = []
+        net2.register(core_node(3), lambda m: plain.append(sim2.now))
+        net2.unicast(MessageType.G, core_node(0), core_node(3), ctag="c",
+                     inval_vec=set(), order=())
+        sim2.run()
+        assert times[0] == plain[0] + 12
+
+    def test_compose_drops_nones(self):
+        assert compose_delay_hooks(None, None) is None
+        solo = lambda m, l: 3
+        assert compose_delay_hooks(None, solo, None) is solo
