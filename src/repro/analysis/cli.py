@@ -1,8 +1,15 @@
-"""``python -m repro lint``: run all three analysis passes and gate on them.
+"""``python -m repro lint``: run the analysis passes and gate on them.
 
-Exit status is 0 when every finding is either fixed or recorded in the
-baseline file, non-zero otherwise — so CI can fail PRs that introduce new
+Exit status is 0 when every finding is either fixed, suppressed by an
+inline ``# repro: allow SB***`` pragma on its own line, or recorded in the
+baseline file — non-zero otherwise.  CI fails PRs that introduce new
 ``SB***`` findings while the pre-existing, justified ones stay suppressed.
+
+``--races`` adds the SB5xx state-access race pass
+(:mod:`repro.analysis.races`); ``--confirm`` additionally labels each
+SB5xx finding CONFIRMED (with a replayable schedule) or UNOBSERVED by
+running the access sanitizer over the explore scenarios.  ``--jobs N``
+runs the passes in parallel worker processes with a deterministic merge.
 """
 
 from __future__ import annotations
@@ -10,24 +17,49 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.determinism import lint_determinism
-from repro.analysis.findings import Baseline, Finding, RULES, repo_paths
+from repro.analysis.findings import (Baseline, Finding, RULES, apply_pragmas,
+                                     repo_paths)
 from repro.analysis.group_check import check_group_order
 from repro.analysis.handler_lint import lint_handlers
+from repro.harness.parallel import run_ordered
 
 DEFAULT_BASELINE = "lint-baseline.txt"
 
+_PassPayload = Tuple[str, Optional[Path], int]
 
-def run_all(pkg_dir: Optional[Path] = None, max_dirs: int = 4
-            ) -> List[Finding]:
-    """All three passes over the installed ``repro`` package."""
-    findings: List[Finding] = []
-    findings.extend(lint_handlers(pkg_dir))
-    findings.extend(check_group_order(max_dirs=max_dirs))
-    findings.extend(lint_determinism(pkg_dir))
-    return findings
+
+def _run_pass(payload: _PassPayload) -> List[Finding]:
+    """One analysis pass; top-level so ``--jobs`` can pickle it."""
+    name, pkg_dir, max_dirs = payload
+    if name == "handlers":
+        return lint_handlers(pkg_dir)
+    if name == "group":
+        return check_group_order(max_dirs=max_dirs)
+    if name == "determinism":
+        return lint_determinism(pkg_dir)
+    if name == "races":
+        from repro.analysis.races.rules import lint_races
+        return lint_races(pkg_dir)
+    raise ValueError(f"unknown analysis pass {name!r}")
+
+
+def run_all(pkg_dir: Optional[Path] = None, max_dirs: int = 4, *,
+            races: bool = False, jobs: int = 1) -> List[Finding]:
+    """All analysis passes over the installed ``repro`` package.
+
+    The merge is deterministic regardless of ``jobs``: results come back
+    in pass-declaration order and each pass is internally ordered.
+    """
+    passes = ["handlers", "group", "determinism"]
+    if races:
+        passes.append("races")
+    payloads: List[_PassPayload] = [(name, pkg_dir, max_dirs)
+                                    for name in passes]
+    batches = run_ordered(_run_pass, payloads, jobs=jobs)
+    return [f for batch in batches for f in batch]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -41,39 +73,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-baseline", action="store_true",
                         help="report every finding, suppressing nothing")
     parser.add_argument("--write-baseline", action="store_true",
-                        help="accept all current findings into the baseline")
+                        help="accept all current findings into the baseline "
+                             "(existing per-key justifications are kept)")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule-code prefixes, e.g. "
                              "'SB3' or 'SB001,SB2'")
     parser.add_argument("--max-dirs", type=int, default=4,
                         help="model-checker configuration bound (default 4; "
                              "CI uses 5)")
+    parser.add_argument("--races", action="store_true",
+                        help="also run the SB5xx state-access race pass")
+    parser.add_argument("--confirm", action="store_true",
+                        help="label SB5xx findings CONFIRMED/UNOBSERVED by "
+                             "running the access sanitizer (implies --races; "
+                             "slow)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the analysis passes "
+                             "(deterministic merge; default 1)")
     parser.add_argument("--explain", action="store_true",
                         help="list the rule codes and exit")
+    parser.add_argument("--pkg-dir", type=Path, default=None,
+                        help=argparse.SUPPRESS)  # test fixtures only
     args = parser.parse_args(argv)
+    races = args.races or args.confirm
 
     if args.explain:
         for code, (title, why) in sorted(RULES.items()):
             print(f"{code}  {title}\n       {why}")
         return 0
 
-    pkg_dir, repo_root = repo_paths()
+    if args.pkg_dir is not None:
+        pkg_dir = args.pkg_dir.resolve()
+        repo_root = pkg_dir.parent.parent
+    else:
+        pkg_dir, repo_root = repo_paths()
     baseline_path = args.baseline or repo_root / DEFAULT_BASELINE
 
-    findings = run_all(pkg_dir, max_dirs=args.max_dirs)
+    findings = run_all(pkg_dir, max_dirs=args.max_dirs, races=races,
+                       jobs=args.jobs)
     if args.rules:
         prefixes = tuple(p.strip() for p in args.rules.split(",") if p.strip())
         findings = [f for f in findings if f.code.startswith(prefixes)]
+    findings, pragma_suppressed = apply_pragmas(findings, repo_root)
     findings.sort(key=lambda f: (f.path, f.line, f.code))
 
     if args.write_baseline:
-        baseline_path.write_text(Baseline.render(findings))
+        previous = Baseline.load(baseline_path)
+        baseline_path.write_text(
+            Baseline.render(findings, previous.justifications))
         print(f"wrote {len(findings)} finding(s) to {baseline_path}")
         return 0
 
     baseline = (Baseline() if args.no_baseline
                 else Baseline.load(baseline_path))
     fresh, suppressed, stale = baseline.split(findings)
+    if not races:
+        # SB5xx baseline entries are not stale just because the (opt-in)
+        # race pass did not run this invocation.
+        stale = {key for key in stale if not key.startswith("SB5")}
+
+    witnesses = []
+    if args.confirm:
+        from repro.analysis.races.confirm import confirm_findings
+        witnesses = confirm_findings(
+            [f for f in findings if f.code.startswith("SB5")],
+            runs_per_scenario=4)
 
     if args.format == "json":
         print(json.dumps({
@@ -81,7 +145,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           "anchor": f.anchor, "message": f.message,
                           "why": f.why} for f in fresh],
             "suppressed": len(suppressed),
+            "pragma_suppressed": len(pragma_suppressed),
             "stale_baseline_keys": sorted(stale),
+            **({"witnesses": [w.to_json() for w in witnesses]}
+               if args.confirm else {}),
         }, indent=2))
     else:
         for f in fresh:
@@ -89,8 +156,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"    why: {f.why}")
         for key in sorted(stale):
             print(f"warning: stale baseline entry (no longer found): {key}")
+        for w in witnesses:
+            print(f"{w.status}: {w.key}")
+            if w.detail:
+                print(f"    {w.detail}")
         print(f"repro lint: {len(fresh)} finding(s), "
               f"{len(suppressed)} suppressed by baseline, "
+              f"{len(pragma_suppressed)} by inline pragma, "
               f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}")
     return 1 if fresh else 0
 

@@ -14,6 +14,7 @@ there with a justification and only *new* findings fail the gate.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -78,6 +79,26 @@ RULES: Dict[str, Tuple[str, str]] = {
               "a squash-pending (OCI alias) chunk was never resolved, or a "
               "commit was double-counted — the OCI re-validation path "
               "mis-resolved under this interleaving"),
+    # -- pass 4: state-access race analysis (repro.analysis.races) -------
+    "SB501": ("unsynchronized concurrent access",
+              "two handlers of one module class can be in flight for the "
+              "same chunk with no causal ordering (no dominance in the "
+              "message-causality graph) and their footprints conflict on a "
+              "state attribute — write/write or read/write"),
+    "SB502": ("send before state update",
+              "a method emits a message and afterwards mutates state the "
+              "message's audience reads; the receiver's reaction can race "
+              "the late write and observe either version"),
+    "SB503": ("re-entrant handler cycle",
+              "a handler sits on a causal cycle (its downstream effects "
+              "can trigger it again for the same chunk) while mutating "
+              "non-commutative state; a re-entry can observe torn "
+              "intermediate state"),
+    "SB504": ("unreconciled state growth",
+              "a state attribute starting empty is grown by handler-"
+              "reachable code but no handler-reachable path ever shrinks "
+              "or releases it — squash/abort reconciliation is missing "
+              "(the reservation-leak family)"),
     # -- pass 3: determinism lint ----------------------------------------
     "SB301": ("unordered iteration reaches scheduler",
               "iterating a set/dict and scheduling events or sending "
@@ -123,26 +144,34 @@ class Finding:
 class Baseline:
     """The suppression file: one ``<code> <path>::<anchor>`` key per line.
 
-    Anything after the key on a line is a free-form justification.  Lines
-    starting with ``#`` and blank lines are ignored.
+    Anything after the key on a line is a free-form justification; it is
+    kept (per key) so ``--write-baseline`` can regenerate the file without
+    destroying the reasons humans wrote down.  Lines starting with ``#``
+    and blank lines are ignored.
     """
 
-    def __init__(self, keys: Optional[Set[str]] = None) -> None:
+    def __init__(self, keys: Optional[Set[str]] = None,
+                 justifications: Optional[Dict[str, str]] = None) -> None:
         self.keys: Set[str] = set(keys or ())
+        self.justifications: Dict[str, str] = dict(justifications or {})
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
         if not path.exists():
             return cls()
-        keys = set()
+        keys: Set[str] = set()
+        justifications: Dict[str, str] = {}
         for raw in path.read_text().splitlines():
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split()
+            parts = line.split(None, 2)
             if len(parts) >= 2:
-                keys.add(f"{parts[0]} {parts[1]}")
-        return cls(keys)
+                key = f"{parts[0]} {parts[1]}"
+                keys.add(key)
+                if len(parts) == 3 and parts[2].strip():
+                    justifications[key] = parts[2].strip()
+        return cls(keys, justifications)
 
     def split(self, findings: Sequence[Finding]
               ) -> Tuple[List[Finding], List[Finding], Set[str]]:
@@ -156,18 +185,73 @@ class Baseline:
         return fresh, suppressed, stale
 
     @staticmethod
-    def render(findings: Iterable[Finding]) -> str:
-        """Serialize findings as a fresh baseline file body."""
+    def render(findings: Iterable[Finding],
+               justifications: Optional[Dict[str, str]] = None) -> str:
+        """Serialize findings as a fresh baseline file body.
+
+        ``justifications`` (typically the previous baseline's) are carried
+        over per key; keys without one get a TODO marker so the reviewer
+        can see which entries still owe an explanation.
+        """
+        justifications = justifications or {}
         lines = [
             "# lint-baseline.txt — accepted findings of `python -m repro lint`.",
             "# One `<code> <path>::<anchor>` key per line; the rest of the",
-            "# line is a justification.  Regenerate with",
-            "# `python -m repro lint --write-baseline`.",
+            "# line is a justification (preserved across --write-baseline).",
             "",
         ]
         for f in sorted(set(findings), key=lambda f: f.key):
-            lines.append(f.key)
+            reason = justifications.get(f.key, "TODO: justify this entry")
+            lines.append(f"{f.key}  {reason}")
         return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Inline suppression pragmas
+# ----------------------------------------------------------------------
+#: ``# repro: allow SB304`` (one or more codes, comma/space separated) on
+#: the finding's own line suppresses it at the source instead of in the
+#: central baseline file — the justification lives next to the code.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\s+(SB\d+(?:[,\s]+SB\d+)*)")
+
+
+def file_pragmas(source: str) -> Dict[int, Set[str]]:
+    """1-based line -> rule codes allowed by an inline pragma there."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(line)
+        if match:
+            out[lineno] = set(re.findall(r"SB\d+", match.group(1)))
+    return out
+
+
+def apply_pragmas(findings: Sequence[Finding], repo_root: Path
+                  ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, pragma-suppressed).
+
+    A finding is suppressed when the line it anchors to carries a
+    ``# repro: allow <code>`` pragma for its rule code.  Whole-file and
+    model findings (line 0) cannot be pragma-suppressed — they have no
+    single source line to annotate.
+    """
+    pragmas: Dict[str, Dict[int, Set[str]]] = {}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        if not f.line:
+            kept.append(f)
+            continue
+        if f.path not in pragmas:
+            target = repo_root / f.path
+            try:
+                pragmas[f.path] = file_pragmas(target.read_text())
+            except OSError:
+                pragmas[f.path] = {}
+        if f.code in pragmas[f.path].get(f.line, ()):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
 
 
 def repo_paths() -> Tuple[Path, Path]:
@@ -186,4 +270,5 @@ def rel_path(pkg_dir: Path, file: Path) -> str:
     return "src/repro/" + file.resolve().relative_to(pkg_dir).as_posix()
 
 
-__all__ = ["Baseline", "Finding", "RULES", "rel_path", "repo_paths"]
+__all__ = ["Baseline", "Finding", "PRAGMA_RE", "RULES", "apply_pragmas",
+           "file_pragmas", "rel_path", "repo_paths"]

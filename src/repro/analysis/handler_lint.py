@@ -307,6 +307,45 @@ def _declared_types(source: str) -> Dict[str, int]:
     return out
 
 
+def _piggybacked_types(source: str) -> Dict[str, Tuple[str, ...]]:
+    """The ``PIGGYBACKED_TYPES`` mapping, read from the module's AST.
+
+    Parsed statically (not imported) so fixture overrides of
+    ``network/message.py`` see their own mapping.  Keys and carrier
+    entries are ``MessageType.X`` attributes; anything else is ignored.
+    """
+    def name_of(node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "MessageType"):
+            return node.attr
+        return None
+
+    tree = ast.parse(source)
+    out: Dict[str, Tuple[str, ...]] = {}
+    for node in tree.body:
+        targets = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "PIGGYBACKED_TYPES"
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            rider = name_of(key) if key is not None else None
+            if rider is None:
+                continue
+            carriers = []
+            if isinstance(val, (ast.Tuple, ast.List)):
+                carriers = [name_of(e) for e in val.elts]
+            out[rider] = tuple(c for c in carriers if c)
+    return out
+
+
 def _read(pkg_dir: Path, rel: str,
           overrides: Optional[Dict[str, str]]) -> Optional[str]:
     if overrides and rel in overrides:
@@ -395,8 +434,29 @@ def lint_handlers(pkg_dir: Optional[Path] = None,
 
     decl_src = _read(pkg_dir, MESSAGE_DECLS, source_overrides)
     if decl_src is not None:
+        piggybacked = _piggybacked_types(decl_src)
         for name, line in _declared_types(decl_src).items():
-            if name not in all_sent:
+            carriers = piggybacked.get(name)
+            if carriers is not None:
+                # A payload-flag type: sound iff its carriers fly and it
+                # itself never appears on the wire as a standalone packet.
+                missing = [c for c in carriers if c not in all_sent]
+                if name in all_sent:
+                    findings.append(Finding(
+                        code="SB004", path="src/repro/" + MESSAGE_DECLS,
+                        line=line, anchor=f"MessageType.{name}",
+                        message=(f"MessageType.{name} is declared as piggy-"
+                                 f"backed (on {', '.join(carriers)}) but is "
+                                 f"also sent as a standalone packet")))
+                elif missing:
+                    findings.append(Finding(
+                        code="SB004", path="src/repro/" + MESSAGE_DECLS,
+                        line=line, anchor=f"MessageType.{name}",
+                        message=(f"MessageType.{name} piggy-backs on "
+                                 f"{', '.join(missing)}, which "
+                                 f"{'is' if len(missing) == 1 else 'are'} "
+                                 f"never sent")))
+            elif name not in all_sent:
                 findings.append(Finding(
                     code="SB004", path="src/repro/" + MESSAGE_DECLS,
                     line=line, anchor=f"MessageType.{name}",

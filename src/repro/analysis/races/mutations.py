@@ -1,0 +1,110 @@
+"""Seeded source-level race bugs: proof the static pass has teeth.
+
+Each mutation is a small, realistic surgery on the *real* protocol source
+(string-level, so the doctored module is what a buggy patch would look
+like) paired with the exact new finding key the race pass must produce.
+The test suite applies each via ``source_overrides`` — nothing on disk
+changes — and asserts the finding appears and that it is *new* relative
+to the nominal tree.
+
+The ``reservation-leak`` entry is the static twin of the runtime
+``reservation-leak`` mutation in
+:mod:`repro.analysis.explore.mutations`: the same bug family, caught
+once by AST analysis here and once by the chaos harness there (and
+confirmed by the :mod:`repro.analysis.races.sanitizer` at runtime).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+_TARGET = "core/directory_engine.py"
+
+
+@dataclass(frozen=True)
+class SourceMutation:
+    """One seeded bug: a source transform plus its expected finding."""
+
+    name: str
+    description: str
+    rel_path: str                       #: package-relative file to doctor
+    transform: Callable[[str], str]
+    expected_key: str                   #: finding key that must appear
+
+
+def _reservation_leak(src: str) -> str:
+    """Reservation releases become no-ops: once a directory reserves
+    itself for a starving chunk it stays reserved forever (the runtime
+    twin patches ``_release_reservation`` to ``pass``)."""
+    return src.replace("self.reserved_for = None",
+                       "self.reserved_for = ident")
+
+
+def _recall_watch_leak(src: str) -> str:
+    """Every consumption of a recall watch entry is dropped (admission
+    time and the failure paths alike): ``recall_watch`` grows on every
+    OCI recall and is never emptied."""
+    out = re.sub(r"self\.recall_watch\.discard\([^)]*\)",
+                 "self.recall_watch.copy()", src)
+    if out == src:
+        raise ValueError("recall-watch-leak: no discard sites found")
+    return out
+
+
+def _fail_group_reorder(src: str) -> str:
+    """``_fail_group`` multicasts ``G_FAILURE`` *before* recording the
+    failure in ``cst``/``failed_cids``: a member's reaction (or a
+    re-delivered message for the same cid) can race the late update."""
+    block = ("        self.cst.pop(cid, None)\n"
+             "        self.failed_cids.add(cid)\n")
+    out = src.replace(block, "", 1)
+    if out == src:
+        raise ValueError("fail-group-reorder: state-update block not found")
+    hook = "        if entry.leader_here:\n"
+    if hook not in out:
+        raise ValueError("fail-group-reorder: leader branch not found")
+    return out.replace(hook, block + hook, 1)
+
+
+SOURCE_MUTATIONS: Dict[str, SourceMutation] = {
+    m.name: m for m in (
+        SourceMutation(
+            name="reservation-leak",
+            description=("starvation reservations are never released; "
+                         "reserved_for loses all cleanup writes"),
+            rel_path=_TARGET,
+            transform=_reservation_leak,
+            expected_key=("SB504 src/repro/core/directory_engine.py::"
+                          "ScalableBulkDirectory:reserved_for:leak")),
+        SourceMutation(
+            name="recall-watch-leak",
+            description=("OCI recall watch entries are added but never "
+                         "consumed at admission time"),
+            rel_path=_TARGET,
+            transform=_recall_watch_leak,
+            expected_key=("SB504 src/repro/core/directory_engine.py::"
+                          "ScalableBulkDirectory:recall_watch:leak")),
+        SourceMutation(
+            name="fail-group-reorder",
+            description=("G_FAILURE is multicast before the collision "
+                         "module records the failure locally"),
+            rel_path=_TARGET,
+            transform=_fail_group_reorder,
+            expected_key=("SB502 src/repro/core/directory_engine.py::"
+                          "ScalableBulkDirectory._fail_group->G_FAILURE")),
+    )
+}
+
+
+def overrides_for(name: str, pkg_dir: Path) -> Tuple[Dict[str, str], str]:
+    """(source_overrides, expected finding key) for one seeded mutation."""
+    mutation = SOURCE_MUTATIONS[name]
+    original = (pkg_dir / mutation.rel_path).read_text()
+    return {mutation.rel_path: mutation.transform(original)}, \
+        mutation.expected_key
+
+
+__all__ = ["SOURCE_MUTATIONS", "SourceMutation", "overrides_for"]

@@ -1,0 +1,239 @@
+"""Pass 4: state-access race rules SB501–SB504 (tentpole part 3).
+
+The cross product of the :mod:`model` footprints with the
+:mod:`concurrency` reachability facts:
+
+* **SB501 — unsynchronized concurrent access**: two handlers of the same
+  module class may be in flight for the same chunk simultaneously (no
+  dominance ordering in the causal graph) and their footprints conflict
+  on a state attribute (write/write or read/write).  Reported per
+  (class, attribute) with the offending handler pairs, so one baseline
+  entry documents one attribute's synchronization story.
+* **SB502 — send before state update**: a method emits a message and
+  *then* mutates an attribute that the message's audience (the handlers
+  the sent type dispatches to, in any class of the family) reads.  The
+  receiver's reaction can race the sender's late write.
+* **SB503 — re-entrant handler cycle**: a handler sits on a causal cycle
+  (it can be triggered again for the same chunk by its own downstream
+  effects) while mutating non-commutative state — a re-entry can observe
+  torn intermediate state.
+* **SB504 — unreconciled state growth**: an attribute is grown
+  (container insert / assignment of a live value) by handler-reachable
+  code, but no handler-reachable path ever shrinks or releases it — the
+  squash/abort reconciliation the paper's failure paths owe is missing
+  (the reservation-leak family).
+
+Counters (``+= constant`` only) are exempt everywhere: their writes
+commute.  Findings are deterministic: sorted by key, deduplicated across
+families (the substrate is analyzed once per family but reported once).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.races.concurrency import (ConcurrencyModel,
+                                              build_concurrency_model)
+from repro.analysis.races.model import (ClassStateModel, StateModel,
+                                        extract_all_models)
+
+
+def _fmt_attrs(attrs: Set[str], limit: int = 4) -> str:
+    ordered = sorted(attrs)
+    if len(ordered) > limit:
+        return ", ".join(ordered[:limit]) + f", … ({len(ordered)} attrs)"
+    return ", ".join(ordered)
+
+
+# ----------------------------------------------------------------------
+# SB501: unsynchronized concurrent write/write and read/write pairs
+# ----------------------------------------------------------------------
+def _outcome_polarity(triggers: Tuple[str, ...]) -> Optional[str]:
+    """Success-side vs failure-side outcome of a commit conversation.
+
+    The runtime conformance rules (:mod:`repro.validation.orderings`)
+    guarantee at most one outcome per commit instance reaches a module —
+    ``g_success`` never follows ``g_failure``, ``commit_success`` and
+    ``commit_failure`` are exclusive — so an opposite-polarity handler
+    pair can never be in flight for the *same* chunk and is pruned."""
+    text = " ".join(triggers)
+    if "FAILURE" in text or "NACK" in text:
+        return "abort"
+    if ("SUCCESS" in text or "DONE" in text or "ACK" in text
+            or "GRANT" in text or "OK" in text):
+        return "commit"
+    return None
+
+
+def _check_concurrent_access(model: StateModel, cm: ConcurrencyModel
+                             ) -> List[Finding]:
+    """One finding per class: its full set of unordered conflicting pairs.
+
+    Class granularity is deliberate — a baseline entry then documents the
+    *synchronization story of the whole module class* (e.g. "per-cid CST
+    entries buffer out-of-order arrivals"), which is how these races are
+    actually argued away, rather than one entry per attribute."""
+    findings: List[Finding] = []
+    for cls in model.handler_classes():
+        by_pair: Dict[Tuple[str, str], Set[str]] = {}
+        handlers = sorted(cls.handlers)
+        for i, m1 in enumerate(handlers):
+            h1 = cls.handlers[m1]
+            for m2 in handlers[i + 1:]:
+                h2 = cls.handlers[m2]
+                p1, p2 = (_outcome_polarity(h1.triggers),
+                          _outcome_polarity(h2.triggers))
+                if p1 and p2 and p1 != p2:
+                    continue  # exclusive outcomes, never same-chunk-live
+                if not cm.may_interleave(cls.name, m1, m2):
+                    continue
+                w1, w2 = set(h1.writes), set(h2.writes)
+                touched = ((w1 & w2) | (w1 & set(h2.reads))
+                           | (set(h1.reads) & w2)) - cls.counters
+                if touched:
+                    by_pair[(m1, m2)] = touched
+        if not by_pair:
+            continue
+        attrs: Set[str] = set()
+        for touched in by_pair.values():
+            attrs |= touched
+        pairs = sorted(by_pair)
+        shown = ", ".join(f"{a}~{b}" for a, b in pairs[:4])
+        more = f" and {len(pairs) - 4} more" if len(pairs) > 4 else ""
+        findings.append(Finding(
+            code="SB501", path=cls.path, line=cls.line,
+            anchor=f"{cls.name}:concurrent-state",
+            message=(f"{cls.name} has concurrently in-flight handler pairs "
+                     f"with no causal ordering touching "
+                     f"{_fmt_attrs(attrs, 6)}: {shown}{more}")))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SB502: a send precedes a mutation the audience can observe racing
+# ----------------------------------------------------------------------
+def _audience_reads(model: StateModel, mtypes: Tuple[str, ...]) -> Set[str]:
+    reads: Set[str] = set()
+    for cls in model.handler_classes():
+        for mtype in mtypes:
+            method = cls.dispatch.get(mtype)
+            if method in cls.handlers:
+                reads |= set(cls.handlers[method].reads)
+    return reads
+
+
+def _check_send_before_update(model: StateModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in model.handler_classes():
+        for name in sorted(cls.reachable):
+            summary = cls.methods.get(name)
+            if summary is None or not summary.sends:
+                continue
+            per_key: Dict[Tuple[str, ...], Set[str]] = {}
+            first_line: Dict[Tuple[str, ...], int] = {}
+            for site in summary.sends:
+                if not site.mtypes:
+                    continue
+                audience = _audience_reads(model, site.mtypes)
+                late: Set[str] = set()
+                for attr, line in summary.writes.items():
+                    if line > site.line and attr in audience:
+                        late.add(attr)
+                for local, line in summary.name_writes.items():
+                    attr = summary.aliases.get(local)
+                    if attr and line > site.line and attr in audience:
+                        late.add(attr)
+                late -= cls.counters
+                if late:
+                    key = tuple(sorted(site.mtypes))
+                    per_key.setdefault(key, set()).update(late)
+                    first_line.setdefault(key, site.line)
+            for key, attrs in sorted(per_key.items()):
+                findings.append(Finding(
+                    code="SB502", path=cls.path, line=first_line[key],
+                    anchor=f"{cls.name}.{name}->{'/'.join(key)}",
+                    message=(f"{cls.name}.{name} sends {'/'.join(key)} and "
+                             f"afterwards mutates {_fmt_attrs(attrs)}, which "
+                             f"the message's audience reads — the reaction "
+                             f"can race the late update")))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SB503: re-entrant handler cycles over mutable state
+# ----------------------------------------------------------------------
+def _check_reentrant_cycles(model: StateModel, cm: ConcurrencyModel
+                            ) -> List[Finding]:
+    findings: List[Finding] = []
+    by_cls: Dict[str, ClassStateModel] = {c.name: c for c in model.classes}
+    for scc in cm.sccs:
+        members = sorted({(n[1], n[2]) for n in scc})
+        torn: Set[str] = set()
+        for cname, method in members:
+            cls = by_cls.get(cname)
+            if cls is None or method not in cls.handlers:
+                continue
+            torn |= set(cls.handlers[method].writes) - cls.counters
+        if not torn:
+            continue
+        cname, method = members[0]
+        cls = by_cls[cname]
+        cycle = " -> ".join(f"{c}.{m}" for c, m in members)
+        findings.append(Finding(
+            code="SB503", path=cls.path, line=cls.handlers[method].line,
+            anchor=f"{cname}.{method}:cycle",
+            message=(f"handler cycle {cycle} can re-enter for the same "
+                     f"chunk while mutating {_fmt_attrs(torn)}; a re-entry "
+                     f"can observe torn intermediate state")))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SB504: state grown by handlers but never reconciled/released
+# ----------------------------------------------------------------------
+def _check_unreconciled_growth(model: StateModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in model.handler_classes():
+        grown: Dict[str, str] = {}        #: attr -> first growing handler
+        released: Set[str] = set()
+        for method in sorted(cls.handlers):
+            handler = cls.handlers[method]
+            for attr in (handler.additive & cls.releasable) - cls.counters:
+                grown.setdefault(attr, method)
+            released |= handler.cleanup
+        for attr, method in sorted(grown.items()):
+            if attr in released:
+                continue
+            findings.append(Finding(
+                code="SB504", path=cls.path,
+                line=cls.handlers[method].writes.get(
+                    attr, cls.handlers[method].line),
+                anchor=f"{cls.name}:{attr}:leak",
+                message=(f"{cls.name}.{attr} is grown by handler "
+                         f"{method} (and possibly others) but no "
+                         f"handler-reachable path ever shrinks or releases "
+                         f"it — squash/abort reconciliation is missing")))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def lint_races(pkg_dir: Optional[Path] = None,
+               source_overrides: Optional[Dict[str, str]] = None
+               ) -> List[Finding]:
+    """Run SB501–SB504 over every protocol family; deduplicated, sorted."""
+    out: Dict[str, Finding] = {}
+    for model in extract_all_models(pkg_dir, source_overrides).values():
+        cm = build_concurrency_model(model)
+        for finding in (_check_concurrent_access(model, cm)
+                        + _check_send_before_update(model)
+                        + _check_reentrant_cycles(model, cm)
+                        + _check_unreconciled_growth(model)):
+            out.setdefault(finding.key, finding)
+    return sorted(out.values(), key=lambda f: f.key)
+
+
+__all__ = ["lint_races"]

@@ -371,6 +371,10 @@ class ScalableBulkDirectory(DirectoryModule):
                                   genuine, entry.leader_here)
         self.cst.pop(cid, None)
         self.failed_cids.add(cid)
+        # A pending OCI watch for a now-failed cid can never fire again
+        # (failed_cids gates every later arrival): drop it here instead of
+        # letting it accumulate for the rest of the run.
+        self.recall_watch.discard(cid)
         if self.obs.enabled:
             self.obs.dir_occupancy(self.sim.now, self.dir_id, len(self.cst))
         if genuine:
@@ -389,6 +393,7 @@ class ScalableBulkDirectory(DirectoryModule):
     def _on_g_failure(self, msg: Message) -> None:
         cid: CommitId = msg.ctag
         self.failed_cids.add(cid)
+        self.recall_watch.discard(cid)
         if msg.payload.get("genuine", True):
             self._note_failure(cid)
         entry = self.cst.pop(cid, None)

@@ -60,11 +60,11 @@ def calibrate(n: int = 2_000_000) -> float:
     host-independent ratio, so baselines recorded on one machine can gate
     regressions measured on another.
     """
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow SB304
     acc = 0
     for i in range(n):
         acc += i * i
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: allow SB304
     assert acc >= 0
     return n / dt if dt > 0 else float("inf")
 
@@ -78,10 +78,10 @@ def bench_signature_insert(n_ops: int) -> Dict[str, Any]:
     factory = SignatureFactory(total_bits=2048, n_banks=4, seed=2010)
     sig = factory.empty()
     lines = [(i * 2654435761) % (1 << 34) for i in range(512)]
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow SB304
     for i in range(n_ops):
         sig.insert(lines[i & 511])
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: allow SB304
     return {"ops": n_ops, "seconds": dt, "ops_per_sec": n_ops / dt}
 
 
@@ -92,12 +92,12 @@ def bench_signature_intersect(n_ops: int) -> Dict[str, Any]:
     a = factory.from_lines(range(0, 640, 10))
     b = factory.from_lines(range(5, 645, 10))
     c = factory.from_lines(range(10_000, 10_640, 10))
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow SB304
     hits = 0
     for i in range(n_ops):
         if a.intersects(b if i & 1 else c):
             hits += 1
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: allow SB304
     assert hits >= 0
     return {"ops": n_ops, "seconds": dt, "ops_per_sec": n_ops / dt}
 
@@ -111,7 +111,7 @@ def bench_event_queue_churn(n_ops: int) -> Dict[str, Any]:
     from repro.engine.events import Simulator
     sim = Simulator()
     noop = (lambda: None)
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow SB304
     batch = 512
     scheduled = 0
     while scheduled < n_ops:
@@ -121,7 +121,7 @@ def bench_event_queue_churn(n_ops: int) -> Dict[str, Any]:
         sim.run()
         assert sim.quiescent()
         scheduled += batch
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: allow SB304
     return {"ops": scheduled, "seconds": dt, "ops_per_sec": scheduled / dt}
 
 
@@ -137,7 +137,7 @@ def bench_noc_transit(n_ops: int) -> Dict[str, Any]:
     delivered = []
     for i in range(16):
         net.register(core_node(i), lambda m: delivered.append(1))
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow SB304
     batch = 256
     sent = 0
     while sent < n_ops:
@@ -149,7 +149,7 @@ def bench_noc_transit(n_ops: int) -> Dict[str, Any]:
                              ctag=j))
         sim.run()
         sent += batch
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: allow SB304
     assert len(delivered) == sent
     return {"ops": sent, "seconds": dt, "ops_per_sec": sent / dt}
 
@@ -237,7 +237,7 @@ def collect_bench(quick: bool = False, jobs: int = 1, repeat: int = 3,
     macro = run_macro(quick, jobs, log=log)
     return {
         "schema": SCHEMA,
-        "date": datetime.date.today().isoformat(),
+        "date": datetime.date.today().isoformat(),  # repro: allow SB304
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),

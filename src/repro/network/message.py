@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, NamedTuple, Optional
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 
 class TrafficClass(Enum):
@@ -230,12 +230,24 @@ SCALABLEBULK_TABLE1_TYPES = (
     MessageType.COMMIT_RECALL,
 )
 
+#: Types that never travel as standalone packets: each rides as a payload
+#: flag on the listed carrier types (zero extra network cost; the type
+#: exists for Table 1 accounting).  The handler linter reads this mapping:
+#: a piggy-backed type is exempt from SB004 (orphan type) as long as every
+#: one of its carriers is actually sent — and conversely it is a finding
+#: if a piggy-backed type ever appears on the wire as its own packet.
+PIGGYBACKED_TYPES: Dict[MessageType, Tuple[MessageType, ...]] = {
+    MessageType.COMMIT_RECALL: (MessageType.BULK_INV_ACK,
+                                MessageType.COMMIT_DONE),
+}
+
 __all__ = [
     "HEADER_BYTES",
     "LINE_BYTES",
     "Message",
     "MessageType",
     "NodeRef",
+    "PIGGYBACKED_TYPES",
     "SCALABLEBULK_TABLE1_TYPES",
     "SIGNATURE_BYTES",
     "TrafficClass",

@@ -45,6 +45,7 @@ hook               emitted from                       payload
 ``oci_recall``     core/processor_engine.py           cid, collision dir
 ``arbiter_decision`` baselines/bulksc.py              cid, ok, in-flight
 ``watchdog_fire``  faults/watchdog.py                 fires, commits, state
+``state_access``   analysis/races/sanitizer.py        cls, handler, attr, op
 =================  =================================  =====================
 """
 
@@ -75,6 +76,7 @@ DIR_NACK = "dir_nack"
 OCI_RECALL = "oci_recall"
 ARBITER_DECISION = "arbiter_decision"
 WATCHDOG_FIRE = "watchdog_fire"
+STATE_ACCESS = "state_access"
 
 #: Hooks that feed gauges only and never enter the event stream.
 GAUGE_ONLY_KINDS = frozenset({SIM_STEP, DIR_OCCUPANCY})
@@ -203,6 +205,12 @@ class NullBus:
         """The liveness watchdog saw a commit-free window; ``snapshot`` is
         the live group/CST/reservation state it dumped."""
 
+    # -- state-access sanitizer (repro.analysis.races) -----------------
+    def state_access(self, time: int, src: str, cls: str, handler: str,
+                     attr: str, op: str, ctag: Any) -> None:
+        """The access sanitizer observed a tracked attribute change
+        (``op``: grow | release | write) inside a handler invocation."""
+
 
 #: The shared default sink.  Never mutated; safe to share machine-wide.
 NULL_BUS = NullBus()
@@ -319,6 +327,12 @@ class InstrumentationBus(NullBus):
         self._emit(time, WATCHDOG_FIRE, "watchdog", None, fires=fires,
                    commits=commits, snapshot=snapshot)
 
+    # -- state-access sanitizer ------------------------------------------
+    def state_access(self, time: int, src: str, cls: str, handler: str,
+                     attr: str, op: str, ctag: Any) -> None:
+        self._emit(time, STATE_ACCESS, src, ctag, cls=cls, handler=handler,
+                   attr=attr, op=op)
+
     # ------------------------------------------------------------------
     def of_kind(self, *kinds: str) -> List[ObsEvent]:
         return [e for e in self.events if e.kind in kinds]
@@ -367,5 +381,6 @@ __all__ = [
     "EXEC_DONE", "EXEC_START", "GAUGE_ONLY_KINDS", "GRAB_ADMIT",
     "GRAB_RECV", "GROUP_FAILED", "GROUP_FORMED", "MSG_RECV", "MSG_SEND",
     "NULL_BUS", "NullBus", "InstrumentationBus", "ObsEvent", "OCI_RECALL",
-    "SIM_STEP", "SQUASH", "WATCHDOG_FIRE", "attach_bus", "ctag_str",
+    "SIM_STEP", "SQUASH", "STATE_ACCESS", "WATCHDOG_FIRE", "attach_bus",
+    "ctag_str",
 ]

@@ -17,10 +17,15 @@ class TestGate:
         assert lint_main([]) == 0
 
     def test_known_findings_exist_without_baseline(self, capsys):
-        """The baseline is not vacuous: suppressing nothing fails the gate."""
-        assert lint_main(["--no-baseline"]) == 1
+        """The baseline is not vacuous: suppressing nothing fails the gate.
+
+        The handler/group/determinism passes are clean at source level
+        (SB304 moved to inline pragmas, SB004 resolved by the piggyback
+        model), so the live baseline entries are the SB5xx race findings.
+        """
+        assert lint_main(["--no-baseline", "--races"]) == 1
         out = capsys.readouterr().out
-        assert "SB" in out and "why:" in out
+        assert "SB5" in out and "why:" in out
 
     def test_json_format(self, capsys):
         lint_main(["--format", "json", "--no-baseline"])
@@ -36,9 +41,10 @@ class TestGate:
 
     def test_write_and_reuse_baseline(self, tmp_path, capsys):
         path = tmp_path / "baseline.txt"
-        assert lint_main(["--write-baseline", "--baseline", str(path)]) == 0
-        assert path.exists() and "SB" in path.read_text()
-        assert lint_main(["--baseline", str(path)]) == 0
+        args = ["--races", "--baseline", str(path)]
+        assert lint_main(["--write-baseline", *args]) == 0
+        assert path.exists() and "SB5" in path.read_text()
+        assert lint_main(args) == 0
 
     def test_stale_baseline_entry_warns_but_passes(self, tmp_path, capsys):
         path = tmp_path / "baseline.txt"
