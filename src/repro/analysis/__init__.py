@@ -1,6 +1,6 @@
 """Static analysis for the reproduction: protocol linter + determinism lint.
 
-Three passes, each usable as a library, via ``python -m repro lint``, and
+Five passes, each usable as a library, via ``python -m repro lint``, and
 as a pytest tier (``tests/test_analysis_*.py``):
 
 1. **Handler-coverage linter** (:mod:`repro.analysis.handler_lint`) —
@@ -13,6 +13,13 @@ as a pytest tier (``tests/test_analysis_*.py``):
 3. **Determinism lint** (:mod:`repro.analysis.determinism`) — flags
    nondeterminism sources that would break reproducible runs
    (SB301-SB304).
+4. **State-access race analysis** (:mod:`repro.analysis.races`, opt-in
+   via ``--races``) — conflicting handler footprints without causal
+   ordering (SB501-SB504).
+5. **Protocol-flow analysis** (:mod:`repro.analysis.flows`, opt-in via
+   ``--flows``) — per-family message-flow automata extracted from the
+   AST and checked against each protocol's declared
+   :class:`~repro.protocols.spec.ProtocolSpec` (SB601-SB604).
 
 Rule codes are documented in ``docs/analysis.md``; accepted findings live
 in ``lint-baseline.txt`` at the repo root.
@@ -20,6 +27,7 @@ in ``lint-baseline.txt`` at the repo root.
 
 from repro.analysis.determinism import lint_determinism, lint_source
 from repro.analysis.findings import Baseline, Finding, RULES
+from repro.analysis.flows import lint_flows
 from repro.analysis.group_check import check_group_order
 from repro.analysis.handler_lint import lint_handlers
 
@@ -29,6 +37,7 @@ __all__ = [
     "RULES",
     "check_group_order",
     "lint_determinism",
+    "lint_flows",
     "lint_handlers",
     "lint_source",
 ]

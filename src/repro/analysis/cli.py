@@ -6,10 +6,18 @@ baseline file — non-zero otherwise.  CI fails PRs that introduce new
 ``SB***`` findings while the pre-existing, justified ones stay suppressed.
 
 ``--races`` adds the SB5xx state-access race pass
-(:mod:`repro.analysis.races`); ``--confirm`` additionally labels each
+(:mod:`repro.analysis.races`); ``--flows`` adds the SB6xx protocol-flow
+pass (:mod:`repro.analysis.flows`); ``--confirm`` additionally labels each
 SB5xx finding CONFIRMED (with a replayable schedule) or UNOBSERVED by
 running the access sanitizer over the explore scenarios.  ``--jobs N``
 runs the passes in parallel worker processes with a deterministic merge.
+``--select SB6`` (any rule-code prefix) runs exactly the passes that can
+emit matching codes and reports/baselines only those findings — baseline
+entries owned by unselected passes are neither stale nor rewritten.
+
+Exit status: 0 when every finding is suppressed (or none exist), 1 when
+fresh findings remain, 2 on usage errors (argparse).  ``--format json``
+emits the machine-readable report documented in docs/analysis.md.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.determinism import lint_determinism
 from repro.analysis.findings import (Baseline, Finding, RULES, apply_pragmas,
@@ -27,6 +35,17 @@ from repro.analysis.handler_lint import lint_handlers
 from repro.harness.parallel import run_ordered
 
 DEFAULT_BASELINE = "lint-baseline.txt"
+
+#: analysis pass -> the rule codes it can emit.  Drives ``--select`` (which
+#: passes must run for a code prefix) and the stale-baseline exemption
+#: (entries owned by a pass that did not run are not stale).
+PASS_RULES: Dict[str, Tuple[str, ...]] = {
+    "handlers": ("SB001", "SB002", "SB003", "SB004"),
+    "group": ("SB201", "SB202", "SB203", "SB204"),
+    "determinism": ("SB301", "SB302", "SB303", "SB304"),
+    "races": ("SB501", "SB502", "SB503", "SB504"),
+    "flows": ("SB601", "SB602", "SB603", "SB604"),
+}
 
 _PassPayload = Tuple[str, Optional[Path], int]
 
@@ -43,23 +62,36 @@ def _run_pass(payload: _PassPayload) -> List[Finding]:
     if name == "races":
         from repro.analysis.races.rules import lint_races
         return lint_races(pkg_dir)
+    if name == "flows":
+        from repro.analysis.flows.rules import lint_flows
+        return lint_flows(pkg_dir)
     raise ValueError(f"unknown analysis pass {name!r}")
 
 
 def run_all(pkg_dir: Optional[Path] = None, max_dirs: int = 4, *,
-            races: bool = False, jobs: int = 1) -> List[Finding]:
-    """All analysis passes over the installed ``repro`` package.
+            races: bool = False, flows: bool = False, jobs: int = 1,
+            only: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Analysis passes over the installed ``repro`` package, merged sorted.
 
-    The merge is deterministic regardless of ``jobs``: results come back
-    in pass-declaration order and each pass is internally ordered.
+    ``only`` names the exact passes to run (``--select``); otherwise the
+    three always-on passes run plus ``races``/``flows`` on request.  The
+    result is sorted by ``(code, path, anchor)``, so the report is
+    byte-identical regardless of ``jobs`` or pass scheduling.
     """
-    passes = ["handlers", "group", "determinism"]
-    if races:
-        passes.append("races")
+    if only is not None:
+        passes = [name for name in PASS_RULES if name in set(only)]
+    else:
+        passes = ["handlers", "group", "determinism"]
+        if races:
+            passes.append("races")
+        if flows:
+            passes.append("flows")
     payloads: List[_PassPayload] = [(name, pkg_dir, max_dirs)
                                     for name in passes]
     batches = run_ordered(_run_pass, payloads, jobs=jobs)
-    return [f for batch in batches for f in batch]
+    findings = [f for batch in batches for f in batch]
+    findings.sort(key=lambda f: (f.code, f.path, f.anchor))
+    return findings
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -83,6 +115,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "CI uses 5)")
     parser.add_argument("--races", action="store_true",
                         help="also run the SB5xx state-access race pass")
+    parser.add_argument("--flows", action="store_true",
+                        help="also run the SB6xx protocol-flow pass "
+                             "(extracted automata vs declared specs)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule-code prefixes; run only "
+                             "the passes that can emit matching codes and "
+                             "report only matching findings, e.g. 'SB6' or "
+                             "'SB301,SB5'")
     parser.add_argument("--confirm", action="store_true",
                         help="label SB5xx findings CONFIRMED/UNOBSERVED by "
                              "running the access sanitizer (implies --races; "
@@ -109,28 +149,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         pkg_dir, repo_root = repo_paths()
     baseline_path = args.baseline or repo_root / DEFAULT_BASELINE
 
-    findings = run_all(pkg_dir, max_dirs=args.max_dirs, races=races,
-                       jobs=args.jobs)
-    if args.rules:
-        prefixes = tuple(p.strip() for p in args.rules.split(",") if p.strip())
-        findings = [f for f in findings if f.code.startswith(prefixes)]
+    select = (tuple(p.strip() for p in args.select.split(",") if p.strip())
+              if args.select else ())
+    rule_prefixes = (tuple(p.strip() for p in args.rules.split(",")
+                           if p.strip()) if args.rules else ())
+    if select:
+        only = [name for name, codes in PASS_RULES.items()
+                if any(code.startswith(select) for code in codes)]
+        if not only:
+            parser.error(f"--select {args.select!r} matches no analysis pass")
+        ran = only
+        findings = run_all(pkg_dir, max_dirs=args.max_dirs, jobs=args.jobs,
+                           only=only)
+        findings = [f for f in findings if f.code.startswith(select)]
+    else:
+        ran = ["handlers", "group", "determinism"]
+        if races:
+            ran.append("races")
+        if args.flows:
+            ran.append("flows")
+        findings = run_all(pkg_dir, max_dirs=args.max_dirs, races=races,
+                           flows=args.flows, jobs=args.jobs)
+    if rule_prefixes:
+        findings = [f for f in findings if f.code.startswith(rule_prefixes)]
     findings, pragma_suppressed = apply_pragmas(findings, repo_root)
-    findings.sort(key=lambda f: (f.path, f.line, f.code))
+
+    unchecked_codes: Set[str] = {code for name in PASS_RULES
+                                 if name not in ran
+                                 for code in PASS_RULES[name]}
+
+    def _checked(key: str) -> bool:
+        """Could this baseline key have been (re-)found this invocation?
+
+        Keys owned by a pass that did not run, or filtered out by
+        ``--select``/``--rules``, were never looked for — they are not
+        stale and must survive ``--write-baseline``.  Keys with a code no
+        pass emits are garbage and always count as stale.
+        """
+        code = key.split(" ", 1)[0]
+        if code in unchecked_codes:
+            return False
+        if select and not code.startswith(select):
+            return False
+        if rule_prefixes and not code.startswith(rule_prefixes):
+            return False
+        return True
 
     if args.write_baseline:
         previous = Baseline.load(baseline_path)
+        found_keys = {f.key for f in findings}
+        keep = sorted(k for k in previous.keys
+                      if not _checked(k) and k not in found_keys)
         baseline_path.write_text(
-            Baseline.render(findings, previous.justifications))
-        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+            Baseline.render(findings, previous.justifications,
+                            keep_keys=keep))
+        kept = f" (+{len(keep)} kept from unselected passes)" if keep else ""
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}{kept}")
         return 0
 
     baseline = (Baseline() if args.no_baseline
                 else Baseline.load(baseline_path))
     fresh, suppressed, stale = baseline.split(findings)
-    if not races:
-        # SB5xx baseline entries are not stale just because the (opt-in)
-        # race pass did not run this invocation.
-        stale = {key for key in stale if not key.startswith("SB5")}
+    stale = {key for key in stale if _checked(key)}
 
     witnesses = []
     if args.confirm:

@@ -99,6 +99,26 @@ RULES: Dict[str, Tuple[str, str]] = {
               "reachable code but no handler-reachable path ever shrinks "
               "or releases it — squash/abort reconciliation is missing "
               "(the reservation-leak family)"),
+    # -- pass 5: protocol-flow analysis (repro.analysis.flows) -----------
+    "SB601": ("dangling message flow",
+              "a message type is sent but no class of the destination role "
+              "dispatches it, or a dispatch branch waits for a type nothing "
+              "ever sends — half a conversation, dead on arrival either "
+              "way"),
+    "SB602": ("spec conformance break",
+              "the flow automaton extracted from the code and the declared "
+              "ProtocolSpec disagree: a (sender, type, receiver) edge "
+              "exists in code but not in the spec, or a declared edge has "
+              "no implementing send site"),
+    "SB603": ("conversation deadlock candidate",
+              "a request type has no static reply path back to the "
+              "requester role: no chain of handler reactions from the "
+              "receiver ever emits one of the spec's declared reply/retry "
+              "types toward the sender, so the requester can wait forever"),
+    "SB604": ("non-exhaustive dispatch",
+              "a handler's if/elif chain over the message type has no "
+              "terminal else (raise or delegation): an unexpected type is "
+              "silently dropped instead of failing loudly"),
     # -- pass 3: determinism lint ----------------------------------------
     "SB301": ("unordered iteration reaches scheduler",
               "iterating a set/dict and scheduling events or sending "
@@ -186,12 +206,16 @@ class Baseline:
 
     @staticmethod
     def render(findings: Iterable[Finding],
-               justifications: Optional[Dict[str, str]] = None) -> str:
+               justifications: Optional[Dict[str, str]] = None,
+               keep_keys: Iterable[str] = ()) -> str:
         """Serialize findings as a fresh baseline file body.
 
         ``justifications`` (typically the previous baseline's) are carried
         over per key; keys without one get a TODO marker so the reviewer
-        can see which entries still owe an explanation.
+        can see which entries still owe an explanation.  ``keep_keys`` are
+        previous-baseline keys to carry over verbatim — entries owned by
+        passes that did not run this invocation (``--select``/``--rules``),
+        which the current findings therefore cannot vouch for.
         """
         justifications = justifications or {}
         lines = [
@@ -200,9 +224,11 @@ class Baseline:
             "# line is a justification (preserved across --write-baseline).",
             "",
         ]
-        for f in sorted(set(findings), key=lambda f: f.key):
-            reason = justifications.get(f.key, "TODO: justify this entry")
-            lines.append(f"{f.key}  {reason}")
+        keys = {f.key for f in findings}
+        keys.update(keep_keys)
+        for key in sorted(keys):
+            reason = justifications.get(key, "TODO: justify this entry")
+            lines.append(f"{key}  {reason}")
         return "\n".join(lines) + "\n"
 
 

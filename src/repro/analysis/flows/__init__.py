@@ -1,0 +1,31 @@
+"""SB6xx protocol-flow analysis: extracted automata vs declared specs.
+
+The gate every protocol variant must pass before it reaches the dynamic
+checkers: per family (ScalableBulk, BulkSC, TCC, SEQ, plus the coherence
+substrate) this package
+
+* extracts a **message-flow automaton** from the AST — which role
+  dispatches which message type, which types each handler sends
+  (helpers resolved through the SB5xx call-graph closure) and to which
+  role, with ``msg.src`` replies resolved through the trigger's senders
+  (:mod:`automaton`);
+* reads the family's declarative :class:`repro.protocols.spec.ProtocolSpec`
+  from the module source (:mod:`specs`); and
+* crosses the two into findings SB601–SB604 (:mod:`rules`): dangling
+  flows, spec conformance both directions, conversation-deadlock
+  candidates, non-exhaustive dispatch.
+
+:mod:`mutations` holds the seeded conversation bugs (a deleted handler,
+a dropped reply, an undeclared send, a stripped dispatch default) that
+prove each rule fires.  Entry point: :func:`lint_flows`, wired into
+``python -m repro lint --flows`` / ``--select SB6``.
+"""
+
+from repro.analysis.flows.automaton import (FlowAutomaton, FlowSend,
+                                            build_automaton,
+                                            extract_flow_automaton)
+from repro.analysis.flows.rules import lint_flows
+from repro.analysis.flows.specs import SPEC_SOURCES, load_spec
+
+__all__ = ["FlowAutomaton", "FlowSend", "SPEC_SOURCES", "build_automaton",
+           "extract_flow_automaton", "lint_flows", "load_spec"]

@@ -1,0 +1,147 @@
+"""Seeded conversation-shape bugs: proof the SB6xx pass has teeth.
+
+Mirrors :mod:`repro.analysis.races.mutations`: each mutation is a small,
+realistic string-level surgery on the *real* protocol source paired with
+the exact finding key the flow pass must produce.  The tests (and the
+flows-smoke CI job) apply each via ``source_overrides`` — nothing on disk
+changes — and assert the expected key appears and is *new* relative to
+the nominal tree.  Every transform raises ``ValueError`` when its anchor
+text is missing, so silent rot of a mutation is impossible.
+
+The four mutations cover one rule each:
+
+* ``delete-handler`` — the directory stops dispatching ``G_SUCCESS``
+  (SB601: sent but never handled);
+* ``undeclared-send`` — the directory leaks ``G_SUCCESS`` to the
+  committing *processor*, an edge no spec declares (SB602);
+* ``drop-reply`` — the TID vendor absorbs ``TID_REQ`` without ever
+  granting (SB603: conversation deadlock);
+* ``strip-dispatch-default`` — the directory's dispatch chain loses its
+  terminal ``raise`` (SB604: unexpected types silently dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+_SB_DIR = "core/directory_engine.py"
+_TCC = "baselines/tcc.py"
+
+
+@dataclass(frozen=True)
+class FlowMutation:
+    """One seeded bug: a source transform plus its expected finding."""
+
+    name: str
+    description: str
+    rel_path: str                       #: package-relative file to doctor
+    transform: Callable[[str], str]
+    expected_key: str                   #: finding key that must appear
+
+
+def _must_replace(src: str, old: str, new: str, what: str) -> str:
+    out = src.replace(old, new, 1)
+    if out == src:
+        raise ValueError(f"{what}: anchor text not found")
+    return out
+
+
+def _delete_handler(src: str) -> str:
+    """The directory's dispatch chain loses its ``G_SUCCESS`` branch: the
+    grab-success multicast still flies but lands on ``raise``."""
+    return _must_replace(
+        src,
+        "        elif mtype is MessageType.G_SUCCESS:\n"
+        "            self._on_g_success(msg)\n",
+        "",
+        "delete-handler")
+
+
+def _undeclared_send(src: str) -> str:
+    """``_on_g_success`` leaks the directory-internal ``G_SUCCESS`` on to
+    the committing processor — an edge no spec declares."""
+    block = ("        entry.state = ChunkCommitState.CONFIRMED\n"
+             "        self.apply_commit(entry.local_write_lines, "
+             "entry.proc)\n")
+    return _must_replace(
+        src, block,
+        block + ("        self.network.unicast(MessageType.G_SUCCESS, "
+                 "self.node,\n"
+                 "                             core_node(entry.proc), "
+                 "ctag=msg.ctag)\n"),
+        "undeclared-send")
+
+
+def _drop_reply(src: str) -> str:
+    """The TID vendor swallows ``TID_REQ``: the grant send disappears, so
+    no conversation ever returns to the requesting processor."""
+    return _must_replace(
+        src,
+        "        self.network.unicast(MessageType.TID_GRANT, self.node,\n"
+        "                             core_node(proc), ctag=cid, tid=tid)\n",
+        "",
+        "drop-reply")
+
+
+def _strip_dispatch_default(src: str) -> str:
+    """The directory's dispatch chain loses its terminal ``raise``:
+    unexpected message types are silently dropped."""
+    return _must_replace(
+        src,
+        "        else:\n"
+        "            raise NotImplementedError("
+        "f\"unexpected {mtype} at directory\")\n",
+        "",
+        "strip-dispatch-default")
+
+
+FLOW_MUTATIONS: Dict[str, FlowMutation] = {
+    m.name: m for m in (
+        FlowMutation(
+            name="delete-handler",
+            description="directory stops dispatching G_SUCCESS",
+            rel_path=_SB_DIR,
+            transform=_delete_handler,
+            expected_key=("SB601 src/repro/core/directory_engine.py::"
+                          "scalablebulk/G_SUCCESS:never-handled")),
+        FlowMutation(
+            name="undeclared-send",
+            description="directory leaks G_SUCCESS to the processor",
+            rel_path=_SB_DIR,
+            transform=_undeclared_send,
+            expected_key=("SB602 src/repro/core/directory_engine.py::"
+                          "scalablebulk/dir-G_SUCCESS->core:undeclared")),
+        FlowMutation(
+            name="drop-reply",
+            description="TID vendor never answers TID_REQ",
+            rel_path=_TCC,
+            transform=_drop_reply,
+            expected_key=("SB603 src/repro/baselines/tcc.py::"
+                          "tcc/TID_REQ:no-reply-path")),
+        FlowMutation(
+            name="strip-dispatch-default",
+            description="directory dispatch loses its terminal raise",
+            rel_path=_SB_DIR,
+            transform=_strip_dispatch_default,
+            expected_key=("SB604 src/repro/core/directory_engine.py::"
+                          "ScalableBulkDirectory.handle_protocol_message:"
+                          "non-exhaustive")),
+    )
+}
+
+
+def overrides_for(name: str, pkg_dir: Optional[Path] = None
+                  ) -> Tuple[Dict[str, str], str]:
+    """(source_overrides, expected finding key) for one mutation."""
+    if pkg_dir is None:
+        import repro
+        pkg_dir = Path(repro.__file__).resolve().parent
+    mutation = FLOW_MUTATIONS[name]
+    source = (pkg_dir / mutation.rel_path).read_text()
+    return ({mutation.rel_path: mutation.transform(source)},
+            mutation.expected_key)
+
+
+__all__ = ["FLOW_MUTATIONS", "FlowMutation", "overrides_for"]

@@ -1,0 +1,206 @@
+"""Cross the extracted flow automata against the declared specs.
+
+| code  | finding |
+|-------|---------|
+| SB601 | a type sent to a role with no dispatch branch for it, or a
+|       | dispatch branch waiting for a type nothing sends |
+| SB602 | code/spec disagreement: an extracted edge the spec does not
+|       | declare, or a declared edge with no implementing send |
+| SB603 | a request with no static reply path back to the requester role |
+| SB604 | a message-type dispatch chain with no terminal else |
+
+Findings use the shared :class:`repro.analysis.findings.Finding` keys, so
+the baseline/pragma machinery applies unchanged.  Piggy-backed types
+(``PIGGYBACKED_TYPES``) never travel standalone and are exempt from
+SB601/SB602 — they are checked by the SB004 carrier rules instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flows.automaton import (FlowAutomaton, FlowSend,
+                                            extract_flow_automaton)
+from repro.analysis.flows.specs import (ParsedSpec, SPEC_SOURCES, SpecError,
+                                        load_spec)
+from repro.analysis.handler_lint import (MESSAGE_DECLS, _piggybacked_types,
+                                         _read)
+from repro.network.message import ROLES
+
+
+def _dangling(auto: FlowAutomaton, exempt: Set[str]) -> List[Finding]:
+    """SB601: sent-but-never-handled / handled-but-never-sent."""
+    out: List[Finding] = []
+    first_send: Dict[Tuple[str, str], FlowSend] = {}
+    sent_types: Set[str] = set()
+    for send in auto.sends:
+        sent_types.add(send.mtype)
+        first_send.setdefault((send.mtype, send.dst_role), send)
+
+    for (mtype, dst), send in sorted(first_send.items()):
+        if mtype in exempt:
+            continue
+        if dst in ROLES:
+            handled_here = mtype in auto.handled.get(dst, {})
+        else:  # unresolved destination: any handler anywhere will do
+            handled_here = any(mtype in book
+                               for book in auto.handled.values())
+        if not handled_here:
+            out.append(Finding(
+                code="SB601", path=send.path, line=send.line,
+                anchor=f"{auto.family}/{mtype}:never-handled",
+                message=(f"{mtype} is sent to role '{dst}' by {send.via} "
+                         f"but no {auto.family} handler at that role "
+                         f"dispatches it")))
+
+    for role in sorted(auto.handled):
+        for mtype, site in sorted(auto.handled[role].items()):
+            if mtype in exempt or mtype in sent_types:
+                continue
+            out.append(Finding(
+                code="SB601", path=site.path, line=site.line,
+                anchor=f"{auto.family}/{mtype}:never-sent",
+                message=(f"{site.qualname} dispatches {mtype} but nothing "
+                         f"in the {auto.family} conversation ever sends "
+                         f"it")))
+    return out
+
+
+def _conformance(auto: FlowAutomaton, parsed: ParsedSpec,
+                 exempt: Set[str]) -> List[Finding]:
+    """SB602: extracted edges vs the declared spec, both directions."""
+    out: List[Finding] = []
+    spec_edges = set(parsed.spec.edges)
+
+    first_edge: Dict[Tuple[str, str, str], FlowSend] = {}
+    for send in auto.sends:
+        if send.dst_role in ROLES:
+            first_edge.setdefault(
+                (send.src_role, send.mtype, send.dst_role), send)
+
+    for edge, send in sorted(first_edge.items()):
+        if send.mtype in exempt:
+            continue
+        if edge not in spec_edges:
+            src, mtype, dst = edge
+            out.append(Finding(
+                code="SB602", path=send.path, line=send.line,
+                anchor=f"{auto.family}/{src}-{mtype}->{dst}:undeclared",
+                message=(f"{send.via} sends {mtype} from role '{src}' to "
+                         f"role '{dst}' but the {auto.family} ProtocolSpec "
+                         f"declares no such edge")))
+
+    # a send with an unresolved destination conservatively implements
+    # every declared (src, mtype, *) edge
+    wildcards = {(s.src_role, s.mtype) for s in auto.unresolved()}
+    covered = set(first_edge)
+    covered |= {e for e in spec_edges if (e[0], e[1]) in wildcards}
+    for edge in sorted(spec_edges - covered):
+        src, mtype, dst = edge
+        out.append(Finding(
+            code="SB602", path=parsed.path, line=parsed.line,
+            anchor=f"{auto.family}/{src}-{mtype}->{dst}:unimplemented",
+            message=(f"the {auto.family} ProtocolSpec declares "
+                     f"'{src}' --{mtype}--> '{dst}' but no code path "
+                     f"implements that send")))
+    return out
+
+
+def _reply_paths(auto: FlowAutomaton, parsed: ParsedSpec) -> List[Finding]:
+    """SB603: every declared request must statically reach a reply.
+
+    BFS over the reaction relation from the request's delivery point: the
+    conversation is live iff some chain of handler reactions delivers one
+    of the declared reply (or retry) types back to the requester role.
+    """
+    out: List[Finding] = []
+    spec = parsed.spec
+    for request in sorted(spec.replies):
+        accepted = set(spec.replies[request]) | set(spec.retries)
+        req_sends = [s for s in auto.sends
+                     if s.mtype == request and s.dst_role in ROLES]
+        for send in sorted(req_sends, key=lambda s: (s.src_role, s.dst_role)):
+            requester = send.src_role
+            reachable: Set[Tuple[str, str]] = set()
+            frontier: List[Tuple[str, str]] = [(send.dst_role, request)]
+            while frontier:
+                node = frontier.pop()
+                if node in reachable:
+                    continue
+                reachable.add(node)
+                for reaction in auto.reactions.get(node, ()):
+                    dsts = ([reaction.dst_role]
+                            if reaction.dst_role in ROLES else list(ROLES))
+                    frontier.extend((d, reaction.mtype) for d in dsts)
+            if not any((requester, t) in reachable for t in accepted):
+                out.append(Finding(
+                    code="SB603", path=send.path, line=send.line,
+                    anchor=f"{auto.family}/{request}:no-reply-path",
+                    message=(f"{request} (sent '{requester}' -> "
+                             f"'{send.dst_role}' by {send.via}) has no "
+                             f"static reply path: no reaction chain sends "
+                             f"{' / '.join(sorted(accepted))} back to "
+                             f"'{requester}'")))
+    return out
+
+
+def _dispatch_gaps(auto: FlowAutomaton) -> List[Finding]:
+    """SB604: dispatch chains missing their terminal else."""
+    return [Finding(
+        code="SB604", path=gap.path, line=gap.line,
+        anchor=f"{gap.qualname}:non-exhaustive",
+        message=(f"{gap.qualname} dispatches on the message type but has "
+                 f"no terminal else: an unexpected type is silently "
+                 f"dropped"))
+        for gap in auto.gaps]
+
+
+def lint_flows(pkg_dir: Optional[Path] = None,
+               source_overrides: Optional[Dict[str, str]] = None
+               ) -> List[Finding]:
+    """The SB6xx protocol-flow pass over every family plus the substrate.
+
+    ``source_overrides`` maps package-relative paths to replacement
+    source text (seeded-mutation fixtures).
+    """
+    if pkg_dir is None:
+        import repro
+        pkg_dir = Path(repro.__file__).resolve().parent
+
+    decl_src = _read(pkg_dir, MESSAGE_DECLS, source_overrides)
+    exempt = (set(_piggybacked_types(decl_src)) if decl_src is not None
+              else set())
+
+    out: Dict[str, Finding] = {}
+
+    def add(findings: List[Finding]) -> None:
+        for finding in findings:
+            out.setdefault(finding.key, finding)
+
+    for family in SPEC_SOURCES:
+        auto = extract_flow_automaton(family, pkg_dir, source_overrides)
+        add(_dangling(auto, exempt))
+        add(_dispatch_gaps(auto))
+        try:
+            parsed = load_spec(family, pkg_dir, source_overrides)
+        except SpecError as exc:
+            add([Finding(
+                code="SB602", path=exc.path, line=exc.line,
+                anchor=f"{family}:invalid-spec",
+                message=f"unusable {family} ProtocolSpec: {exc}")])
+            continue
+        if parsed is None:
+            add([Finding(
+                code="SB602", path="src/repro/" + SPEC_SOURCES[family],
+                line=0, anchor=f"{family}:missing-spec",
+                message=(f"no PROTOCOL_SPEC declared for the {family} "
+                         f"family (expected in {SPEC_SOURCES[family]})"))])
+            continue
+        add(_conformance(auto, parsed, exempt))
+        add(_reply_paths(auto, parsed))
+    return [out[key] for key in sorted(out)]
+
+
+__all__ = ["lint_flows"]

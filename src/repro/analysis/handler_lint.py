@@ -83,7 +83,7 @@ def _role_of_class(node: ast.ClassDef) -> Optional[str]:
         return "agent"
     if "Directory" in text:
         return "dir"
-    if "Engine" in text:
+    if "Engine" in text or node.name == "Core":
         return "core"
     return None
 

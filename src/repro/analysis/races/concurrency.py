@@ -117,7 +117,7 @@ def _send_targets(src_inst: str, src_role: Optional[str],
     for cls in classes:
         if cls.role is None or not cls.handlers:
             continue
-        if dest != "unknown" and cls.role != dest:
+        if dest not in ("unknown", "reply") and cls.role != dest:
             continue
         if cls.role == "dir":
             if src_role == "dir":

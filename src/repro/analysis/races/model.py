@@ -62,7 +62,8 @@ class SendSite:
     """One message-emission site inside a method body."""
 
     mtypes: Tuple[str, ...]      #: resolved MessageType names
-    dest: str                    #: "dir" | "core" | "agent" | "unknown"
+    #: "dir" | "core" | "agent" | "reply" (back to ``msg.src``) | "unknown"
+    dest: str
     line: int
     via: str                     #: method the send syntactically lives in
 
@@ -324,10 +325,19 @@ def _name_of(node: ast.AST) -> Optional[Root]:
 
 
 def _send_dest(call: ast.Call) -> str:
-    """Destination role of a send call (third positional arg by idiom)."""
+    """Destination role of a send call (third positional arg by idiom).
+
+    ``msg.src`` destinations are *replies*: the concrete role depends on
+    who sent the triggering message, so they resolve to the sentinel
+    ``"reply"`` (the flow analysis resolves it through the trigger's
+    senders; the causality graph treats it like ``"unknown"``).
+    """
     if len(call.args) < 3:
         return "unknown"
-    text = ast.unparse(call.args[2])
+    dst = call.args[2]
+    if isinstance(dst, ast.Attribute) and dst.attr == "src":
+        return "reply"
+    text = ast.unparse(dst)
     for node in ast.walk(call.args[2]):
         if isinstance(node, ast.Call):
             name = (node.func.id if isinstance(node.func, ast.Name)

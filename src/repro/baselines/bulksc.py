@@ -29,6 +29,7 @@ from repro.network.message import (
 )
 from repro.obs.bus import NULL_BUS, NullBus
 from repro.protocols.base import Protocol, ProcessorEngine
+from repro.protocols.spec import ProtocolSpec
 
 
 class _InFlight:
@@ -343,4 +344,28 @@ class BulkSCProtocol(Protocol):
         return e
 
 
-__all__ = ["BulkSCArbiter", "BulkSCDirectory", "BulkSCEngine", "BulkSCProtocol"]
+#: BulkSC's conversation: every commit permission flows through the
+#: central arbiter; invalidation traffic reuses the shared BULK_INV
+#: sub-conversation.  Checked by `repro lint --flows` (SB6xx).
+PROTOCOL_SPEC = ProtocolSpec(
+    family="bulksc",
+    edges=(
+        ("core", "BSC_COMMIT_REQ", "agent"),
+        ("agent", "BSC_OK", "core"),
+        ("agent", "BSC_NACK", "core"),
+        ("agent", "BSC_W_TO_DIR", "dir"),
+        ("dir", "BSC_DIR_DONE", "agent"),
+        ("dir", "BULK_INV", "core"),
+        ("core", "BULK_INV_ACK", "dir"),
+        ("core", "BULK_INV_NACK", "dir"),
+    ),
+    replies={
+        "BSC_COMMIT_REQ": ("BSC_OK", "BSC_NACK"),
+        "BSC_W_TO_DIR": ("BSC_DIR_DONE",),
+        "BULK_INV": ("BULK_INV_ACK", "BULK_INV_NACK"),
+    },
+    retries=("BSC_NACK", "BULK_INV_NACK"),
+)
+
+__all__ = ["BulkSCArbiter", "BulkSCDirectory", "BulkSCEngine",
+           "BulkSCProtocol", "PROTOCOL_SPEC"]

@@ -26,6 +26,7 @@ from repro.cpu.core import Core
 from repro.memory.directory import DirectoryModule
 from repro.network.message import Message, MessageType, core_node, dir_node
 from repro.protocols.base import Protocol, ProcessorEngine
+from repro.protocols.spec import ProtocolSpec
 
 
 class SeqDirectory(DirectoryModule):
@@ -283,4 +284,25 @@ class SeqProtocol(Protocol):
         return len(queued)
 
 
-__all__ = ["SeqDirectory", "SeqEngine", "SeqProtocol"]
+#: SEQ-PRO's conversation: occupy the written modules one by one in
+#: ascending order, then commit; RELEASE frees modules on abort or on a
+#: stale grant.  Checked by `repro lint --flows` (SB6xx).
+PROTOCOL_SPEC = ProtocolSpec(
+    family="seq",
+    edges=(
+        ("core", "SEQ_OCCUPY", "dir"),
+        ("dir", "SEQ_GRANT", "core"),
+        ("core", "SEQ_COMMIT", "dir"),
+        ("dir", "SEQ_INV", "core"),
+        ("core", "SEQ_INV_ACK", "dir"),
+        ("dir", "SEQ_DONE", "core"),
+        ("core", "SEQ_RELEASE", "dir"),
+    ),
+    replies={
+        "SEQ_OCCUPY": ("SEQ_GRANT",),
+        "SEQ_COMMIT": ("SEQ_DONE",),
+        "SEQ_INV": ("SEQ_INV_ACK",),
+    },
+)
+
+__all__ = ["PROTOCOL_SPEC", "SeqDirectory", "SeqEngine", "SeqProtocol"]

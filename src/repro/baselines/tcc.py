@@ -36,6 +36,7 @@ from repro.network.message import (
     Message, MessageType, arbiter_node, core_node, dir_node,
 )
 from repro.protocols.base import Protocol, ProcessorEngine
+from repro.protocols.spec import ProtocolSpec
 
 
 class TidVendor:
@@ -401,4 +402,28 @@ class ScalableTCCProtocol(Protocol):
         return len(queued)
 
 
-__all__ = ["ScalableTCCProtocol", "TCCDirectory", "TCCEngine", "TidVendor"]
+#: Scalable TCC's conversation: a TID from the central vendor totally
+#: orders commits; probe/skip/mark drive the per-directory write
+#: transactions.  Checked by `repro lint --flows` (SB6xx).
+PROTOCOL_SPEC = ProtocolSpec(
+    family="tcc",
+    edges=(
+        ("core", "TID_REQ", "agent"),
+        ("agent", "TID_GRANT", "core"),
+        ("core", "TCC_PROBE", "dir"),
+        ("core", "TCC_SKIP", "dir"),
+        ("core", "TCC_MARK", "dir"),
+        ("dir", "TCC_INV", "core"),
+        ("core", "TCC_INV_ACK", "dir"),
+        ("dir", "TCC_DIR_DONE", "core"),
+        ("core", "TCC_COMMIT_DONE", "dir"),
+    ),
+    replies={
+        "TID_REQ": ("TID_GRANT",),
+        "TCC_PROBE": ("TCC_DIR_DONE",),
+        "TCC_INV": ("TCC_INV_ACK",),
+    },
+)
+
+__all__ = ["PROTOCOL_SPEC", "ScalableTCCProtocol", "TCCDirectory",
+           "TCCEngine", "TidVendor"]

@@ -32,6 +32,7 @@ from repro.engine.events import Simulator
 from repro.memory.directory import DirectoryModule
 from repro.network.message import Message, MessageType, core_node, dir_node
 from repro.network.noc import Network
+from repro.protocols.spec import ProtocolSpec
 
 #: Starvation/reservation identity: a chunk across squash generations.
 ChunkIdentity = Tuple[int, int]  # (core, seq)
@@ -445,4 +446,29 @@ class ScalableBulkDirectory(DirectoryModule):
                 f"cst={len(self.cst)}, reserved={self.reserved_for})")
 
 
-__all__ = ["ScalableBulkDirectory"]
+#: The conversation this engine implements (paper Table 1), checked
+#: against the extracted flow automaton by `repro lint --flows` (SB6xx).
+#: COMMIT_RECALL carries no edge: it is piggy-backed (PIGGYBACKED_TYPES).
+PROTOCOL_SPEC = ProtocolSpec(
+    family="scalablebulk",
+    edges=(
+        ("core", "COMMIT_REQUEST", "dir"),
+        ("dir", "G", "dir"),
+        ("dir", "G_SUCCESS", "dir"),
+        ("dir", "G_FAILURE", "dir"),
+        ("dir", "COMMIT_SUCCESS", "core"),
+        ("dir", "COMMIT_FAILURE", "core"),
+        ("dir", "BULK_INV", "core"),
+        ("core", "BULK_INV_ACK", "dir"),
+        ("core", "BULK_INV_NACK", "dir"),
+        ("dir", "COMMIT_DONE", "dir"),
+    ),
+    replies={
+        "COMMIT_REQUEST": ("COMMIT_SUCCESS", "COMMIT_FAILURE"),
+        "G": ("G_SUCCESS", "G_FAILURE"),
+        "BULK_INV": ("BULK_INV_ACK", "BULK_INV_NACK"),
+    },
+    retries=("BULK_INV_NACK",),
+)
+
+__all__ = ["PROTOCOL_SPEC", "ScalableBulkDirectory"]

@@ -171,4 +171,33 @@ class DirectoryModule:
         return f"{type(self).__name__}(id={self.dir_id}, lines={len(self.lines)})"
 
 
-__all__ = ["DirectoryModule", "LineInfo"]
+# Imported at module bottom: repro.protocols.__init__ eagerly imports
+# protocols.base, which imports this module — a top-level import of
+# repro.protocols.spec here would close that cycle before DirectoryModule
+# exists.
+from repro.protocols.spec import ProtocolSpec  # noqa: E402
+
+#: The plain read-sharing substrate every protocol variant runs on:
+#: demand reads, forwarding through the dirty owner, and writebacks.
+#: FWD_READ is deliberately not declared as a request — its data reply
+#: goes to the original requester, not back to the directory that
+#: forwarded it.  Checked by `repro lint --flows` (SB6xx).
+PROTOCOL_SPEC = ProtocolSpec(
+    family="substrate",
+    edges=(
+        ("core", "READ_REQ", "dir"),
+        ("dir", "READ_NACK", "core"),
+        ("dir", "DATA_FROM_MEM", "core"),
+        ("dir", "FWD_READ", "core"),
+        ("core", "DATA_FROM_SHARER", "core"),
+        ("core", "DATA_FROM_OWNER", "core"),
+        ("core", "WRITEBACK", "dir"),
+    ),
+    replies={
+        "READ_REQ": ("DATA_FROM_MEM", "DATA_FROM_SHARER",
+                     "DATA_FROM_OWNER", "READ_NACK"),
+    },
+    retries=("READ_NACK",),
+)
+
+__all__ = ["DirectoryModule", "LineInfo", "PROTOCOL_SPEC"]

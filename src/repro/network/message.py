@@ -166,6 +166,13 @@ def traffic_class_of(mtype: MessageType) -> TrafficClass:
     return TrafficClass.OTHER
 
 
+#: The three addressable roles on the NoC — processor engine, directory
+#: module, centralized agent (BulkSC arbiter / TCC TID vendor).  Protocol
+#: specs (:mod:`repro.protocols.spec`) and the SB6xx flow analysis use
+#: these names; they match :class:`NodeRef.kind`.
+ROLES: Tuple[str, ...] = ("core", "dir", "agent")
+
+
 class NodeRef(NamedTuple):
     """Addressable endpoint on the NoC.
 
@@ -241,13 +248,55 @@ PIGGYBACKED_TYPES: Dict[MessageType, Tuple[MessageType, ...]] = {
                                 MessageType.COMMIT_DONE),
 }
 
+#: Per-family message vocabulary: which types belong to each protocol's
+#: conversation (plus the shared coherence substrate).  The SB6xx flow
+#: analysis scopes each family's extracted automaton to its own types —
+#: this mapping, like ``PIGGYBACKED_TYPES``, is read statically from this
+#: module's source so fixture overrides see their own vocabulary.  The
+#: BULK_INV family (inv / ack / nack) is shared by ScalableBulk and
+#: BulkSC: both drive the same bulk-invalidation sub-conversation.
+FAMILY_TYPES: Dict[str, Tuple[MessageType, ...]] = {
+    "scalablebulk": (
+        MessageType.COMMIT_REQUEST, MessageType.G, MessageType.G_FAILURE,
+        MessageType.G_SUCCESS, MessageType.COMMIT_FAILURE,
+        MessageType.COMMIT_SUCCESS, MessageType.BULK_INV,
+        MessageType.BULK_INV_ACK, MessageType.BULK_INV_NACK,
+        MessageType.COMMIT_DONE, MessageType.COMMIT_RECALL,
+    ),
+    "bulksc": (
+        MessageType.BSC_COMMIT_REQ, MessageType.BSC_OK, MessageType.BSC_NACK,
+        MessageType.BSC_W_TO_DIR, MessageType.BSC_DIR_DONE,
+        MessageType.BULK_INV, MessageType.BULK_INV_ACK,
+        MessageType.BULK_INV_NACK,
+    ),
+    "tcc": (
+        MessageType.TID_REQ, MessageType.TID_GRANT, MessageType.TCC_PROBE,
+        MessageType.TCC_SKIP, MessageType.TCC_MARK, MessageType.TCC_INV,
+        MessageType.TCC_INV_ACK, MessageType.TCC_DIR_DONE,
+        MessageType.TCC_COMMIT_DONE,
+    ),
+    "seq": (
+        MessageType.SEQ_OCCUPY, MessageType.SEQ_GRANT, MessageType.SEQ_COMMIT,
+        MessageType.SEQ_INV, MessageType.SEQ_INV_ACK, MessageType.SEQ_DONE,
+        MessageType.SEQ_RELEASE,
+    ),
+    "substrate": (
+        MessageType.READ_REQ, MessageType.READ_NACK,
+        MessageType.DATA_FROM_MEM, MessageType.FWD_READ,
+        MessageType.DATA_FROM_SHARER, MessageType.DATA_FROM_OWNER,
+        MessageType.WRITEBACK,
+    ),
+}
+
 __all__ = [
+    "FAMILY_TYPES",
     "HEADER_BYTES",
     "LINE_BYTES",
     "Message",
     "MessageType",
     "NodeRef",
     "PIGGYBACKED_TYPES",
+    "ROLES",
     "SCALABLEBULK_TABLE1_TYPES",
     "SIGNATURE_BYTES",
     "TrafficClass",

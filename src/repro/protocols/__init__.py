@@ -6,8 +6,24 @@ contribution (ScalableBulk) lives in :mod:`repro.core`; the three baselines
 of Table 3 live in :mod:`repro.baselines`.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
 from repro.config import ProtocolKind, SystemConfig
-from repro.protocols.base import Protocol, ProcessorEngine
+
+if TYPE_CHECKING:
+    from repro.protocols.base import Protocol
+
+
+def __getattr__(name: str):
+    # Lazy re-exports (PEP 562).  protocols.base imports cpu.core, which
+    # is mid-import when a protocol module pulls in protocols.spec — an
+    # eager import here would close that cycle.
+    if name in ("Protocol", "ProcessorEngine"):
+        from repro.protocols import base
+        return getattr(base, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_protocol(config: SystemConfig, sim, network, page_mapper, sig_factory

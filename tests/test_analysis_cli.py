@@ -46,9 +46,11 @@ class TestJsonGolden:
             assert {"code", "path", "anchor", "message", "why"} <= set(f)
             assert f["code"].startswith("SB5") or not f["code"]
 
-    def test_findings_sorted_by_location(self, capsys):
-        payload = self.payload(capsys, "--no-baseline", "--races")
-        got = [(f["path"], f["line"], f["code"])
+    def test_findings_sorted_by_code_path_anchor(self, capsys):
+        """The merged report is ordered by (code, path, anchor) — the same
+        total order regardless of --jobs or pass scheduling."""
+        payload = self.payload(capsys, "--no-baseline", "--races", "--flows")
+        got = [(f["code"], f["path"], f["anchor"])
                for f in payload["findings"]]
         assert got == sorted(got)
 
@@ -100,6 +102,46 @@ class TestBaselineRoundTrip:
         assert "stale baseline entry" not in capsys.readouterr().out
 
 
+class TestSelect:
+    """--select <prefix>: one pass runs and baselines in isolation."""
+
+    def test_select_flows_is_clean(self):
+        assert lint_main(["--select", "SB6"]) == 0
+
+    def test_select_races_uses_baseline(self):
+        assert lint_main(["--select", "SB5"]) == 0
+        assert lint_main(["--no-baseline", "--select", "SB5"]) == 1
+
+    def test_select_filters_within_a_pass(self, capsys):
+        lint_main(["--format", "json", "--no-baseline", "--select", "SB501"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+        assert all(f["code"] == "SB501" for f in payload["findings"])
+
+    def test_select_no_match_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--select", "SB9"])
+        assert exc.value.code == 2
+
+    def test_unselected_baseline_entries_not_stale(self, capsys):
+        """SB5xx baseline entries must not be stale under --select SB6."""
+        assert lint_main(["--select", "SB6"]) == 0
+        assert "stale baseline entry" not in capsys.readouterr().out
+
+    def test_select_write_baseline_keeps_other_passes(self, tmp_path, capsys):
+        path = tmp_path / "baseline.txt"
+        assert lint_main(["--races", "--write-baseline",
+                          "--baseline", str(path)]) == 0
+        before = Baseline.load(path)
+        assert any(k.startswith("SB5") for k in before.keys)
+        # rewriting only the flows slice must not drop the SB5xx entries
+        assert lint_main(["--select", "SB6", "--write-baseline",
+                          "--baseline", str(path)]) == 0
+        after = Baseline.load(path)
+        assert after.keys == before.keys
+        assert after.justifications == before.justifications
+
+
 class TestParallelLint:
     def test_jobs_produce_identical_findings(self):
         serial = run_all(races=True, jobs=1)
@@ -132,5 +174,6 @@ class TestExplain:
         assert lint_main(["--explain"]) == 0
         out = capsys.readouterr().out
         for code in ("SB001", "SB004", "SB201", "SB301", "SB304",
-                     "SB501", "SB502", "SB503", "SB504"):
+                     "SB501", "SB502", "SB503", "SB504",
+                     "SB601", "SB602", "SB603", "SB604"):
             assert code in out, code

@@ -1,0 +1,260 @@
+"""SB6xx static pass: flow automata, spec parsing, rules, mutation teeth."""
+
+import pytest
+
+from repro.analysis.findings import repo_paths
+from repro.analysis.flows import extract_flow_automaton, lint_flows, load_spec
+from repro.analysis.flows.automaton import _scan_gaps, build_automaton
+from repro.analysis.flows.mutations import FLOW_MUTATIONS, overrides_for
+from repro.analysis.flows.rules import (_conformance, _dangling,
+                                        _dispatch_gaps, _reply_paths)
+from repro.analysis.flows.specs import ParsedSpec, SpecError, parse_spec
+from repro.analysis.races.model import _extract_source
+from repro.protocols.spec import ProtocolSpec
+
+SB6_CODES = {"SB601", "SB602", "SB603", "SB604"}
+FAMILIES = ("scalablebulk", "bulksc", "tcc", "seq", "substrate")
+
+
+def keys(findings):
+    return {f.key for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Toy two-role protocol: the extraction contract in miniature
+# ----------------------------------------------------------------------
+TOY_PATH = "src/repro/toy.py"
+TOY_TYPES = ("PING", "PONG")
+
+TOY = '''
+class ToyEngine:
+    def send_ping(self):
+        self.network.unicast(MessageType.PING, self.node, dir_node(0),
+                             ctag=1)
+
+    def handle_protocol_message(self, msg):
+        mtype = msg.mtype
+        if mtype is MessageType.PONG:
+            self._on_pong(msg)
+        else:
+            raise NotImplementedError(mtype)
+
+    def _on_pong(self, msg):
+        self.done = True
+
+
+class ToyDirectory:
+    def handle_protocol_message(self, msg):
+        mtype = msg.mtype
+        if mtype is MessageType.PING:
+            self._on_ping(msg)
+
+    def _on_ping(self, msg):
+        self.network.unicast(MessageType.PONG, self.node, msg.src,
+                             ctag=msg.ctag)
+'''
+
+
+def toy_automaton(source=TOY, types=TOY_TYPES):
+    classes = _extract_source(TOY_PATH, source)
+    gaps = _scan_gaps(TOY_PATH, source)
+    return build_automaton("toy", types, classes, gaps)
+
+
+def toy_spec(**overrides):
+    fields = dict(
+        family="toy",
+        edges=(("core", "PING", "dir"), ("dir", "PONG", "core")),
+        replies={"PING": ("PONG",)},
+    )
+    fields.update(overrides)
+    return ParsedSpec(spec=ProtocolSpec(**fields), path=TOY_PATH, line=1)
+
+
+class TestToyExtraction:
+    def test_roles_and_handlers(self):
+        auto = toy_automaton()
+        assert "PONG" in auto.handled["core"]
+        assert "PING" in auto.handled["dir"]
+        assert auto.handled["dir"]["PING"].qualname == "ToyDirectory._on_ping"
+
+    def test_root_send_and_reply_resolution(self):
+        """send_ping is a root send (no trigger); the PONG reply to
+        ``msg.src`` resolves to 'core' because only the core sends PING."""
+        auto = toy_automaton()
+        assert auto.edges() == {("core", "PING", "dir"),
+                                ("dir", "PONG", "core")}
+        assert not auto.unresolved()
+        pong = next(s for s in auto.sends if s.mtype == "PONG")
+        assert pong.triggers == ("PING",)
+
+    def test_reactions_keyed_by_receiver_and_trigger(self):
+        auto = toy_automaton()
+        assert [s.mtype for s in auto.reactions[("dir", "PING")]] == ["PONG"]
+
+    def test_dispatch_gap_found_only_where_else_is_missing(self):
+        auto = toy_automaton()
+        assert [g.qualname for g in auto.gaps] == \
+            ["ToyDirectory.handle_protocol_message"]
+
+
+class TestToyRules:
+    def test_clean_toy_is_silent_except_the_gap(self):
+        auto = toy_automaton()
+        parsed = toy_spec()
+        assert _dangling(auto, set()) == []
+        assert _conformance(auto, parsed, set()) == []
+        assert _reply_paths(auto, parsed) == []
+        assert {f.code for f in _dispatch_gaps(auto)} == {"SB604"}
+
+    def test_sb601_never_handled(self):
+        source = TOY.replace("        if mtype is MessageType.PONG:\n"
+                             "            self._on_pong(msg)\n"
+                             "        else:\n", "        if True:\n")
+        auto = toy_automaton(source)
+        assert f"SB601 {TOY_PATH}::toy/PONG:never-handled" in \
+            keys(_dangling(auto, set()))
+
+    def test_sb601_never_sent(self):
+        source = TOY.replace(
+            "        self.network.unicast(MessageType.PING, self.node, "
+            "dir_node(0),\n                             ctag=1)\n",
+            "        pass\n")
+        auto = toy_automaton(source)
+        got = keys(_dangling(auto, set()))
+        assert f"SB601 {TOY_PATH}::toy/PING:never-sent" in got
+
+    def test_sb601_exempt_types_are_skipped(self):
+        source = TOY.replace("        if mtype is MessageType.PONG:\n"
+                             "            self._on_pong(msg)\n"
+                             "        else:\n", "        if True:\n")
+        auto = toy_automaton(source)
+        assert _dangling(auto, exempt={"PONG", "PING"}) == []
+
+    def test_sb602_undeclared_and_unimplemented(self):
+        auto = toy_automaton()
+        # spec claims PONG stays directory-internal: the real dir->core
+        # reply is undeclared and the declared dir->dir edge unimplemented
+        parsed = toy_spec(edges=(("core", "PING", "dir"),
+                                 ("dir", "PONG", "dir")))
+        got = keys(_conformance(auto, parsed, set()))
+        assert f"SB602 {TOY_PATH}::toy/dir-PONG->core:undeclared" in got
+        assert f"SB602 {TOY_PATH}::toy/dir-PONG->dir:unimplemented" in got
+
+    def test_sb603_when_the_reply_disappears(self):
+        source = TOY.replace(
+            "        self.network.unicast(MessageType.PONG, self.node, "
+            "msg.src,\n                             ctag=msg.ctag)\n",
+            "        self.seen = True\n")
+        auto = toy_automaton(source)
+        parsed = toy_spec(edges=(("core", "PING", "dir"),
+                                 ("dir", "PONG", "core")))
+        got = keys(_reply_paths(auto, parsed))
+        assert got == {f"SB603 {TOY_PATH}::toy/PING:no-reply-path"}
+
+    def test_retry_edge_counts_as_a_reply(self):
+        """A declared retry type reaching the requester keeps the
+        conversation live even when the primary reply is missing."""
+        source = TOY.replace(
+            "MessageType.PONG, self.node, msg.src",
+            "MessageType.NACK, self.node, msg.src")
+        auto = toy_automaton(source, types=("PING", "PONG", "NACK"))
+        parsed = toy_spec(
+            edges=(("core", "PING", "dir"), ("dir", "PONG", "core"),
+                   ("dir", "NACK", "core")),
+            retries=("NACK",))
+        assert _reply_paths(auto, parsed) == []
+
+
+class TestSpecParsing:
+    def test_every_family_declares_a_valid_spec(self):
+        pkg_dir, _ = repo_paths()
+        for family in FAMILIES:
+            parsed = load_spec(family, pkg_dir)
+            assert parsed is not None, family
+            assert parsed.spec.family == family
+            assert parsed.spec.edges
+
+    def test_parsed_spec_matches_the_imported_object(self):
+        from repro.core import directory_engine
+        pkg_dir, _ = repo_paths()
+        parsed = load_spec("scalablebulk", pkg_dir)
+        assert parsed.spec == directory_engine.PROTOCOL_SPEC
+
+    def test_missing_spec_returns_none(self):
+        assert parse_spec(TOY_PATH, "x = 1\n") is None
+
+    def test_non_literal_field_raises_spec_error(self):
+        src = "PROTOCOL_SPEC = ProtocolSpec(family=NAME, edges=())\n"
+        with pytest.raises(SpecError):
+            parse_spec(TOY_PATH, src)
+
+    def test_invalid_role_raises_spec_error(self):
+        src = ("PROTOCOL_SPEC = ProtocolSpec(\n"
+               "    family='toy', edges=(('core', 'PING', 'moon'),))\n")
+        with pytest.raises(SpecError):
+            parse_spec(TOY_PATH, src)
+
+    def test_reply_type_must_appear_on_an_edge(self):
+        src = ("PROTOCOL_SPEC = ProtocolSpec(\n"
+               "    family='toy', edges=(('core', 'PING', 'dir'),),\n"
+               "    replies={'PING': ('PONG',)})\n")
+        with pytest.raises(SpecError):
+            parse_spec(TOY_PATH, src)
+
+
+class TestNominalTree:
+    def test_every_family_automaton_fully_resolved(self):
+        for family in FAMILIES:
+            auto = extract_flow_automaton(family)
+            assert auto.types, family
+            assert auto.sends, family
+            assert not auto.unresolved(), family
+            assert not auto.gaps, family
+
+    def test_nominal_tree_is_flow_clean(self):
+        assert lint_flows() == []
+
+    def test_findings_are_deterministic(self):
+        first = [f.key for f in lint_flows()]
+        second = [f.key for f in lint_flows()]
+        assert first == second
+
+    def test_missing_spec_is_reported(self):
+        pkg_dir, _ = repo_paths()
+        rel = "baselines/seq.py"
+        source = (pkg_dir / rel).read_text().replace(
+            "PROTOCOL_SPEC = ProtocolSpec", "_NOT_THE_SPEC = ProtocolSpec")
+        got = keys(lint_flows(source_overrides={rel: source}))
+        assert "SB602 src/repro/baselines/seq.py::seq:missing-spec" in got
+
+    def test_unusable_spec_is_reported(self):
+        pkg_dir, _ = repo_paths()
+        rel = "baselines/seq.py"
+        source = (pkg_dir / rel).read_text().replace(
+            'family="seq"', "family=NAME")
+        got = keys(lint_flows(source_overrides={rel: source}))
+        assert "SB602 src/repro/baselines/seq.py::seq:invalid-spec" in got
+
+
+class TestMutationTeeth:
+    """Each seeded conversation bug must add exactly its expected key."""
+
+    def test_mutations_cover_every_rule(self):
+        expected = {m.expected_key.split(" ", 1)[0]
+                    for m in FLOW_MUTATIONS.values()}
+        assert expected == SB6_CODES
+
+    @pytest.mark.parametrize("name", sorted(FLOW_MUTATIONS))
+    def test_mutation_adds_its_expected_key(self, name):
+        nominal = keys(lint_flows())
+        overrides, expected_key = overrides_for(name)
+        mutated = keys(lint_flows(source_overrides=overrides))
+        assert expected_key not in nominal
+        assert expected_key in mutated
+        assert nominal <= mutated
+
+    @pytest.mark.parametrize("name", sorted(FLOW_MUTATIONS))
+    def test_mutation_transforms_fail_loudly_when_stale(self, name):
+        with pytest.raises(ValueError):
+            FLOW_MUTATIONS[name].transform("def unrelated():\n    pass\n")
