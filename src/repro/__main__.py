@@ -11,6 +11,7 @@ explore    schedule-exploration model checker (repro.analysis.explore)
 trace      instrumented run: Perfetto/JSONL/CSV export + critical path
 bench      micro + macro performance benchmarks (repro.harness.bench)
 chaos      deterministic fault-injection campaigns (repro.faults)
+profile    host-time self-profiler: where the cycles/sec go (repro.obs.profile)
 """
 
 from __future__ import annotations
@@ -47,10 +48,18 @@ def _dump_trace(bus, out: str) -> None:
 
 def _cmd_run(args) -> int:
     bus = _make_bus(args.trace)
+    profiler = None
+    if args.profile or args.metrics_interval:
+        from repro.obs.profile import make_profiler
+        config = SystemConfig(n_cores=args.cores,
+                              protocol=PROTO_BY_NAME[args.protocol.lower()])
+        profiler = make_profiler(config,
+                                 metrics_interval=args.metrics_interval,
+                                 metrics_out=args.metrics_out)
     result = run_app(args.app, n_cores=args.cores,
                      protocol=PROTO_BY_NAME[args.protocol.lower()],
                      chunks_per_partition=args.chunks, oracle=args.oracle,
-                     bus=bus)
+                     bus=bus, profile=profiler)
     print(f"{args.app} on {args.cores} cores "
           f"({result.protocol.value}): {result.total_cycles:,} cycles, "
           f"{result.chunks_committed} chunks")
@@ -59,6 +68,12 @@ def _cmd_run(args) -> int:
     print(f"  commit latency {result.mean_commit_latency:.1f} cy | "
           f"dirs/commit {result.mean_dirs_per_commit:.2f} | "
           f"squashes {result.squashes_conflict}+{result.squashes_alias}")
+    if profiler is not None:
+        print()
+        print(profiler.report().render())
+        if profiler.stream is not None and args.metrics_out:
+            print(f"  metrics: {profiler.stream.snapshots_written} snapshots "
+                  f"-> {args.metrics_out}")
     if bus is not None:
         _dump_trace(bus, args.trace)
     return 0
@@ -140,6 +155,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of chaos's own flags work
         from repro.faults import cli as chaos_cli
         return chaos_cli.main(argv[1:])
+    if argv and argv[0] == "profile":
+        # delegate untouched so all of profile's own flags work
+        from repro.obs import profile as profile_cli
+        return profile_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -156,6 +175,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--trace", metavar="OUT",
                        help="record an instrumentation trace and write it "
                             "as Perfetto JSON to OUT")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the host-time self-profiler and print "
+                            "the per-subsystem attribution report")
+    p_run.add_argument("--metrics-interval", type=int, metavar="CYCLES",
+                       help="stream bounded metrics snapshots every CYCLES "
+                            "simulated cycles (implies --profile)")
+    p_run.add_argument("--metrics-out", metavar="PATH",
+                       help="JSONL destination for --metrics-interval "
+                            "snapshots")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all four protocols side by side")
@@ -187,6 +215,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                  "(see python -m repro bench -h)")
     sub.add_parser("chaos", help="deterministic fault-injection campaigns "
                                  "(see python -m repro chaos -h)")
+    sub.add_parser("profile", help="host-time self-profiler "
+                                   "(see python -m repro profile -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -27,9 +27,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.handler_lint import (FAMILY_SOURCES, SUBSTRATE_SOURCES,
-                                         _is_mtype_probe, _mtype_names, _read,
-                                         _role_of_class)
+from repro.analysis.handler_lint import (DISPATCH_METHODS, FAMILY_SOURCES,
+                                         SUBSTRATE_SOURCES, _is_mtype_probe,
+                                         _mtype_names, _read, _role_of_class)
 from repro.analysis.races.model import ClassStateModel, _extract_source
 from repro.network.message import ROLES
 
@@ -133,8 +133,8 @@ def _scan_gaps(path_label: str, source: str) -> List[DispatchGap]:
         if _role_of_class(cnode) is None:
             continue
         for item in cnode.body:
-            if (isinstance(item, ast.FunctionDef) and item.name in
-                    ("handle_message", "handle_protocol_message")):
+            if (isinstance(item, ast.FunctionDef)
+                    and item.name in DISPATCH_METHODS):
                 line = _non_exhaustive_line(item)
                 if line is not None:
                     gaps.append(DispatchGap(

@@ -121,6 +121,12 @@ def _handler_target(body: Sequence[ast.stmt]) -> Optional[str]:
     return None
 
 
+#: Methods whose if/elif chains over ``msg.mtype`` are dispatch tables.
+#: ``_dispatch`` is the profiling-era idiom: ``handle_message`` wraps the
+#: chain in an optional profiler scope and delegates the branching here.
+DISPATCH_METHODS = ("handle_message", "handle_protocol_message", "_dispatch")
+
+
 def _extract_dispatch(fn: ast.FunctionDef, into: Dict[str, str]) -> None:
     """Parse an if/elif dispatch chain over the message type.
 
@@ -261,7 +267,7 @@ def _extract_module(path_label: str, source: str) -> ModuleInfo:
             if isinstance(item, ast.FunctionDef):
                 cls.methods[item.name] = item
                 _scan_method(cls, item)
-                if item.name in ("handle_message", "handle_protocol_message"):
+                if item.name in DISPATCH_METHODS:
                     _extract_dispatch(item, cls.dispatch)
         info.classes.append(cls)
     return info

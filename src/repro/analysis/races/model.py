@@ -35,9 +35,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.handler_lint import (FAMILY_SOURCES, _extract_dispatch,
-                                         _read, _resolve_mtype_arg,
-                                         _role_of_class)
+from repro.analysis.handler_lint import (DISPATCH_METHODS, FAMILY_SOURCES,
+                                         _extract_dispatch, _read,
+                                         _resolve_mtype_arg, _role_of_class)
 
 #: the substrate module whose handlers guard shared line state
 SUBSTRATE_MODULE = "memory/directory.py"
@@ -431,7 +431,7 @@ def _extract_class(cnode: ast.ClassDef, path: str) -> ClassStateModel:
         if not isinstance(item, ast.FunctionDef):
             continue
         cls.methods[item.name] = _scan_method(item)
-        if item.name in ("handle_message", "handle_protocol_message"):
+        if item.name in DISPATCH_METHODS:
             _extract_dispatch(item, cls.dispatch)
         for node in ast.walk(item):
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):

@@ -81,6 +81,11 @@ class Simulator:
         #: Instrumentation sink (repro.obs); the null bus makes every hook
         #: a guarded no-op, so the default run schedules nothing extra.
         self.obs: NullBus = NULL_BUS
+        #: Host-time self-profiler (repro.obs.profile); None keeps the
+        #: dispatch loop on the unguarded fast path.  The profiler only
+        #: reads the host clock — it never schedules events or touches
+        #: simulation state, so results are identical either way.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -123,7 +128,15 @@ class Simulator:
             ev.cancelled = True
             if self.obs.enabled:
                 self.obs.sim_step(ev.time, len(self._heap))
-            ev.callback()
+            prof = self.profiler
+            if prof is None:
+                ev.callback()
+            else:
+                prof.enter("engine.dispatch")
+                try:
+                    ev.callback()
+                finally:
+                    prof.exit_dispatch(ev.time)
             self._events_processed += 1
             return True
         return False

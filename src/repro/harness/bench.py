@@ -185,37 +185,48 @@ def _macro_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.harness.sweep import run_one
     record = run_one(payload["app"], payload["n_cores"],
                      ProtocolKind(payload["protocol"]),
-                     chunks=payload["chunks"])
+                     chunks=payload["chunks"],
+                     profile=payload.get("profile", False))
     # run_one rounds wall_seconds to 2 decimals; clamp to that granularity
     # so a sub-10ms run cannot explode cycles_per_sec.
     wall = max(record["wall_seconds"], 0.01)
-    return {
+    out = {
         "app": payload["app"],
         "protocol": payload["protocol"],
         "n_cores": payload["n_cores"],
         "chunks": payload["chunks"],
+        "config_hash": record["config_hash"],
         "wall_seconds": record["wall_seconds"],
         "total_cycles": record["total_cycles"],
         "chunks_committed": record["chunks_committed"],
         "cycles_per_sec": record["total_cycles"] / wall,
     }
+    if "profile" in record:
+        out["profile"] = record["profile"]
+    return out
 
 
-def run_macro(quick: bool, jobs: int, log=print) -> Dict[str, Dict[str, Any]]:
+def run_macro(quick: bool, jobs: int, log=print,
+              profile: bool = False) -> Dict[str, Dict[str, Any]]:
     from repro.config import ProtocolKind
     from repro.harness.parallel import run_ordered
     matrix = MACRO_MATRIX_QUICK if quick else MACRO_MATRIX
     payloads = [{"app": app, "n_cores": n, "chunks": chunks,
-                 "protocol": proto.value}
+                 "protocol": proto.value, "profile": profile}
                 for app, n, chunks in matrix for proto in ProtocolKind]
     out: Dict[str, Dict[str, Any]] = {}
 
     def merge(_i, payload, record) -> None:
         key = f"{payload['app']}/{payload['n_cores']}/{payload['protocol']}"
         out[key] = record
-        log(f"  macro {key}: {record['total_cycles']} cycles in "
-            f"{record['wall_seconds']:.2f}s "
-            f"({record['cycles_per_sec']:.0f} cy/s)")
+        line = (f"  macro {key}: {record['total_cycles']} cycles in "
+                f"{record['wall_seconds']:.2f}s "
+                f"({record['cycles_per_sec']:.0f} cy/s)")
+        if "profile" in record:
+            from repro.obs.profile import render_share_line
+            line += f"\n    host time: " \
+                    f"{render_share_line(record['profile']['shares'])}"
+        log(line)
 
     run_ordered(_macro_worker, payloads, jobs=jobs, on_result=merge)
     return out
@@ -225,8 +236,16 @@ def run_macro(quick: bool, jobs: int, log=print) -> Dict[str, Dict[str, Any]]:
 # Document assembly / validation / comparison
 # ----------------------------------------------------------------------
 def collect_bench(quick: bool = False, jobs: int = 1, repeat: int = 3,
-                  log=print) -> Dict[str, Any]:
-    """Run everything and assemble a schema-valid benchmark document."""
+                  log=print, profile: bool = False) -> Dict[str, Any]:
+    """Run everything and assemble a schema-valid benchmark document.
+
+    ``profile`` attaches the host-time self-profiler to every macro run:
+    each macro record carries its own attribution report and the document
+    gains an aggregated ``profile`` section (shares sum to 100% ± 1).
+    The profiled wall-clocks include timer overhead, so don't mix
+    profiled and unprofiled documents in ``--check-regression``.
+    """
+    from repro.provenance import git_rev
     log("calibrating host ...")
     calibration = calibrate()
     micro: Dict[str, Any] = {}
@@ -234,21 +253,29 @@ def collect_bench(quick: bool = False, jobs: int = 1, repeat: int = 3,
         micro[name] = run_micro(name, quick, 1 if quick else repeat)
         log(f"  micro {name}: {micro[name]['ops_per_sec']:.0f} ops/s "
             f"({micro[name]['ops']} ops)")
-    macro = run_macro(quick, jobs, log=log)
-    return {
+    macro = run_macro(quick, jobs, log=log, profile=profile)
+    doc: Dict[str, Any] = {
         "schema": SCHEMA,
         "date": datetime.date.today().isoformat(),  # repro: allow SB304
+        "git_rev": git_rev(),
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": os.cpu_count() or 1,
         },
         "config": {"quick": quick, "jobs": jobs,
-                   "repeat": 1 if quick else repeat},
+                   "repeat": 1 if quick else repeat, "profile": profile},
         "calibration_ops_per_sec": calibration,
         "micro": micro,
         "macro": macro,
     }
+    if profile:
+        from repro.obs.profile import aggregate_profiles, render_share_line
+        doc["profile"] = aggregate_profiles(
+            [rec["profile"] for rec in macro.values() if "profile" in rec])
+        log(f"  host-time attribution (all macro runs): "
+            f"{render_share_line(doc['profile']['shares'])}")
+    return doc
 
 
 def validate_bench(doc: Any) -> List[str]:
@@ -290,6 +317,34 @@ def validate_bench(doc: Any) -> List[str]:
                     errors.append(f"macro[{key}].{field} missing")
             if isinstance(rec, dict) and rec.get("total_cycles", 1) <= 0:
                 errors.append(f"macro[{key}].total_cycles non-positive")
+            if isinstance(rec, dict) and "profile" in rec:
+                errors.extend(f"macro[{key}].profile: {e}"
+                              for e in _validate_profile(rec["profile"]))
+    # Additive (profiled documents only): the aggregated attribution.
+    if "profile" in doc:
+        errors.extend(f"profile: {e}"
+                      for e in _validate_profile(doc["profile"]))
+    return errors
+
+
+def _validate_profile(section: Any) -> List[str]:
+    """Check an embedded host-profiler attribution (shares sum to ~100)."""
+    if not isinstance(section, dict):
+        return ["not an object"]
+    errors: List[str] = []
+    shares = section.get("shares")
+    if not isinstance(shares, dict) or not shares:
+        return ["shares missing or empty"]
+    bad = [k for k, v in shares.items()
+           if not isinstance(v, (int, float)) or v < 0]
+    if bad:
+        errors.append(f"negative or mistyped shares: {bad}")
+    total = sum(v for v in shares.values() if isinstance(v, (int, float)))
+    if abs(total - 100.0) > 1.0:
+        errors.append(f"shares sum to {total:.2f}, expected 100 +- 1")
+    scopes = section.get("scopes")
+    if not isinstance(scopes, dict) or not scopes:
+        errors.append("scopes missing or empty")
     return errors
 
 
@@ -356,6 +411,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "serially for stable timing")
     parser.add_argument("--repeat", type=int, default=3,
                         help="micro benches: best-of-N repetitions")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the host-time self-profiler to every "
+                             "macro run and emit the per-subsystem "
+                             "breakdown next to cycles/sec (timer overhead "
+                             "inflates wall-clocks; don't gate regressions "
+                             "against unprofiled baselines)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default BENCH_<date>.json)")
     parser.add_argument("--validate-file", type=Path, metavar="PATH",
@@ -406,7 +467,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.harness.parallel import resolve_jobs
     doc = collect_bench(quick=args.quick, jobs=resolve_jobs(args.jobs),
-                        repeat=args.repeat)
+                        repeat=args.repeat, profile=args.profile)
     out = args.out or Path(f"BENCH_{doc['date']}.json")
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     errors = validate_bench(doc)

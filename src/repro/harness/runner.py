@@ -209,7 +209,8 @@ class SimulationRunner:
             max_events: int = DEFAULT_EVENT_GUARD,
             oracle: bool = False,
             bus: Optional[InstrumentationBus] = None,
-            faults=None, watchdog: Optional[int] = None) -> RunResult:
+            faults=None, watchdog: Optional[int] = None,
+            profile=None) -> RunResult:
         machine = Machine(self.config, workload=self.workload)
         # Fault injectors install first so the oracle and the bus observe
         # the injured machine exactly as they observe a nominal one.  An
@@ -222,8 +223,15 @@ class SimulationRunner:
         if watchdog is not None:
             from repro.faults.watchdog import attach_watchdog
             attach_watchdog(machine, window=watchdog, bus=bus)
+        if profile is not None:
+            from repro.obs.profile import HostProfiler, attach_profiler
+            if profile is True:
+                profile = HostProfiler()
+            attach_profiler(machine, profile)
         checker = attach_oracle(machine) if oracle else None
         machine.run(max_events=max_events)
+        if profile is not None:
+            profile.stop(machine.sim.now)
         if checker is not None:
             checker.assert_clean()
         return machine.result(self.profile.name, self.active_cores,
@@ -237,7 +245,7 @@ def run_app(app: str, *, n_cores: int = 16,
             keep_machine: bool = False, oracle: bool = False,
             bus: Optional[InstrumentationBus] = None,
             faults=None, watchdog: Optional[int] = None,
-            **config_overrides) -> RunResult:
+            profile=None, **config_overrides) -> RunResult:
     """One-call experiment: build the Table 2 machine and run one app.
 
     ``oracle=True`` attaches the global invalidation oracle and raises at
@@ -246,6 +254,10 @@ def run_app(app: str, *, n_cores: int = 16,
     ``faults`` installs a :class:`repro.faults.FaultPlan`'s injectors and
     ``watchdog`` attaches the liveness watchdog with the given window
     (both imported lazily: nominal runs never touch repro.faults).
+    ``profile`` attaches a host-time self-profiler
+    (:class:`repro.obs.profile.HostProfiler`, or ``True`` for a fresh
+    one; imported lazily) — host-side observation only, the simulated
+    run is identical with or without it.
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol,
                           **config_overrides)
@@ -254,7 +266,7 @@ def run_app(app: str, *, n_cores: int = 16,
         chunks_per_partition=chunks_per_partition,
         n_partitions=n_partitions, access_scale=access_scale)
     return runner.run(keep_machine=keep_machine, oracle=oracle, bus=bus,
-                      faults=faults, watchdog=watchdog)
+                      faults=faults, watchdog=watchdog, profile=profile)
 
 
 __all__ = ["DEFAULT_EVENT_GUARD", "Machine", "RunResult", "SimulationRunner",

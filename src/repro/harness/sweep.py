@@ -41,22 +41,31 @@ PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC, ProtocolKind.SEQ,
 def run_one(app: str, n_cores: int, protocol: ProtocolKind,
             chunks: int, active_cores: Optional[int] = None,
             n_partitions: Optional[int] = None,
-            bus: Optional[InstrumentationBus] = None) -> dict:
+            bus: Optional[InstrumentationBus] = None,
+            profile: bool = False) -> dict:
     """One simulation -> a JSON-serializable record.
 
     ``n_partitions`` fixes the total work across machine sizes (strong
     scaling): every run of one application must use the same partition
     count or speedups are meaningless.  ``bus`` optionally instruments
-    the run (used by ``--critical-paths``).
+    the run (used by ``--critical-paths``); ``profile`` attaches the
+    host-time self-profiler and embeds its attribution report.
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol)
     runner = SimulationRunner(app, config, active_cores=active_cores,
                               chunks_per_partition=chunks,
                               n_partitions=n_partitions)
+    from repro.provenance import config_hash
+    profiler = None
+    if profile:
+        from repro.obs.profile import HostProfiler
+        from repro.provenance import provenance
+        profiler = HostProfiler(provenance=provenance(config))
     t0 = time.time()  # repro: allow SB304
-    result = runner.run(keep_machine=True, bus=bus)
+    result = runner.run(keep_machine=True, bus=bus, profile=profiler)
     stats = result.machine.protocol.stats
     record = {
+        "config_hash": config_hash(config),
         "app": app,
         "protocol": protocol.value,
         "n_cores": n_cores,
@@ -81,6 +90,8 @@ def run_one(app: str, n_cores: int, protocol: ProtocolKind,
                          stats.commit_latency_hist.counts().items()},
         "wall_seconds": round(time.time() - t0, 2),  # repro: allow SB304
     }
+    if profiler is not None:
+        record["profile"] = profiler.report().to_json()
     return record
 
 
@@ -89,34 +100,36 @@ def key_of(app: str, n_cores: int, protocol: str, active: int) -> str:
 
 
 #: One matrix cell, picklable: (app, n_cores, protocol value, chunks,
-#: active_cores, n_partitions, instrument critical paths?).
+#: active_cores, n_partitions, instrument critical paths?, profile?).
 SweepTask = tuple
 
 
 def _sweep_worker(task: SweepTask) -> tuple:
     """Process-pool worker: one matrix cell -> (record, cpath summary)."""
-    app, n_cores, proto_value, chunks, active, n_partitions, want_cp = task
+    (app, n_cores, proto_value, chunks, active, n_partitions, want_cp,
+     want_profile) = task
     bus = InstrumentationBus(record_messages=False) if want_cp else None
     record = run_one(app, n_cores, ProtocolKind(proto_value), chunks,
-                     active_cores=active, n_partitions=n_partitions, bus=bus)
+                     active_cores=active, n_partitions=n_partitions, bus=bus,
+                     profile=want_profile)
     cpath = analyze_commit_paths(bus).summary() if bus is not None else None
     return record, cpath
 
 
 def _matrix(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
-            want_cp: bool) -> List[tuple]:
+            want_cp: bool, want_profile: bool = False) -> List[tuple]:
     """The full (key, task) matrix in canonical serial order."""
     big = max(core_counts)
     cells: List[tuple] = []
     for app in apps:
         cells.append((key_of(app, big, "baseline1p", 1),
                       (app, big, ProtocolKind.SCALABLEBULK.value, chunks,
-                       1, big, want_cp)))
+                       1, big, want_cp, want_profile)))
         for n in core_counts:
             for proto in PROTOCOLS:
                 cells.append((key_of(app, n, proto.value, n),
                               (app, n, proto.value, chunks, None, big,
-                               want_cp)))
+                               want_cp, want_profile)))
     return cells
 
 
@@ -124,7 +137,7 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
             cache_path: Optional[Path] = None,
             log=print,
             critical_paths_path: Optional[Path] = None,
-            jobs: int = 1) -> Dict[str, dict]:
+            jobs: int = 1, profile: bool = False) -> Dict[str, dict]:
     """Run the matrix, reusing any cached records.
 
     ``critical_paths_path`` additionally instruments every fresh run and
@@ -165,7 +178,7 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
     if jobs > 1:
         from repro.harness.parallel import run_ordered
         cells = _matrix(apps, core_counts, chunks,
-                        critical_paths_path is not None)
+                        critical_paths_path is not None, profile)
         pending = [(key, task) for key, task in cells if key not in records]
         log(f"{len(cells) - len(pending)} cached, {len(pending)} to run "
             f"on {jobs} workers")
@@ -198,7 +211,7 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
             bus = make_bus()
             records[k] = run_one(app, big, ProtocolKind.SCALABLEBULK,
                                  chunks, active_cores=1, n_partitions=big,
-                                 bus=bus)
+                                 bus=bus, profile=profile)
             finish(k, bus)
             save()
         done += 1
@@ -210,7 +223,8 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
                 if k not in records:
                     bus = make_bus()
                     records[k] = run_one(app, n, proto, chunks,
-                                         n_partitions=big, bus=bus)
+                                         n_partitions=big, bus=bus,
+                                         profile=profile)
                     finish(k, bus)
                     save()
                 done += 1
@@ -446,6 +460,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="instrument every run and write per-config "
                              "commit critical-path summaries next to the "
                              "JSON cache (critical_paths.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the host-time self-profiler to every "
+                             "fresh run and embed its attribution report "
+                             "in each cached record")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -458,7 +476,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                if args.critical_paths else None)
     records = collect(args.apps, args.cores, args.chunks,
                       cache_path=args.json, critical_paths_path=cp_path,
-                      jobs=resolve_jobs(args.jobs))
+                      jobs=resolve_jobs(args.jobs), profile=args.profile)
     md = render_markdown(records, args.apps, args.cores, args.chunks)
     args.markdown.parent.mkdir(parents=True, exist_ok=True)
     args.markdown.write_text(md)

@@ -19,7 +19,7 @@ for the paper's Figures 18/19.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.engine.events import Simulator
@@ -113,6 +113,8 @@ class Network:
         self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[tuple, ...], int]] = {}
         #: Instrumentation sink (repro.obs); null bus = zero overhead.
         self.obs: NullBus = NULL_BUS
+        #: Host-time self-profiler (repro.obs.profile); None = fast path.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -138,6 +140,9 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> int:
         """Inject ``msg`` now; returns the delivery latency in cycles."""
+        prof = self.profiler
+        if prof is not None:
+            prof.enter("noc.transit")
         handler = self._handlers.get(msg.dst)
         if handler is None:
             raise KeyError(f"no handler registered for destination {msg.dst}")
@@ -171,6 +176,8 @@ class Network:
         else:
             self.sim.schedule(latency, lambda m=msg, h=handler: h(m),
                               tag=("deliver", msg.src, msg.dst, msg.uid))
+        if prof is not None:
+            prof.exit()
         return latency
 
     def _transit_time(self, msg: Message) -> tuple:

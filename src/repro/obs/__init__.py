@@ -14,13 +14,28 @@ from repro.obs.bus import (
 from repro.obs.critical_path import (
     CommitPath, CriticalPathReport, analyze_commit_paths,
 )
-from repro.obs.export import to_csv, to_jsonl, to_perfetto, validate_perfetto
+from repro.obs.export import (
+    to_csv, to_jsonl, to_perfetto, to_perfetto_profile, validate_perfetto,
+)
 from repro.obs.gauges import GaugeSet, RingSeries
+from repro.obs.metrics import (
+    CounterMetric, FixedHistogram, MetricsRegistry, MetricsStream,
+    validate_metrics_jsonl,
+)
+from repro.obs.profile import (
+    HostProfiler, ProfileReport, aggregate_profiles, attach_profiler,
+    make_profiler,
+)
 
 __all__ = [
     "NULL_BUS", "NullBus", "InstrumentationBus", "ObsEvent",
     "attach_bus", "ctag_str",
     "CommitPath", "CriticalPathReport", "analyze_commit_paths",
-    "to_csv", "to_jsonl", "to_perfetto", "validate_perfetto",
+    "to_csv", "to_jsonl", "to_perfetto", "to_perfetto_profile",
+    "validate_perfetto",
     "GaugeSet", "RingSeries",
+    "CounterMetric", "FixedHistogram", "MetricsRegistry", "MetricsStream",
+    "validate_metrics_jsonl",
+    "HostProfiler", "ProfileReport", "aggregate_profiles", "attach_profiler",
+    "make_profiler",
 ]

@@ -46,6 +46,7 @@ PID_COMMIT = 2
 PID_DIRS = 3
 PID_AGENTS = 4
 PID_GAUGES = 5
+PID_PROFILE = 6
 
 _PROCESS_NAMES = {
     PID_EXEC: "cores: execution",
@@ -53,6 +54,7 @@ _PROCESS_NAMES = {
     PID_DIRS: "directories",
     PID_AGENTS: "agents",
     PID_GAUGES: "gauges",
+    PID_PROFILE: "host profiler",
 }
 
 
@@ -68,7 +70,12 @@ def to_jsonl(bus: InstrumentationBus, path: PathLike) -> int:
 
 
 def to_csv(bus: InstrumentationBus, path: PathLike) -> int:
-    """Fixed columns (time, kind, src, ctag) + the payload as JSON."""
+    """Fixed columns (time, kind, src, ctag) + the payload as JSON.
+
+    Wrapped gauge rings append one ``gauge_truncated`` row per affected
+    series — no silent caps in exported telemetry.  The return value
+    stays the recorded *event* count.
+    """
     with open(path, "w", encoding="utf-8", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["time", "kind", "src", "ctag", "fields"])
@@ -77,6 +84,15 @@ def to_csv(bus: InstrumentationBus, path: PathLike) -> int:
                        for k, v in ev.fields.items()}
             writer.writerow([ev.time, ev.kind, ev.src, ctag_str(ev.ctag),
                              json.dumps(payload, sort_keys=True, default=str)])
+        for name, dropped in bus.gauges.dropped_samples().items():
+            series = bus.gauges.get(name)
+            retained = series.samples()
+            writer.writerow([
+                retained[0][0] if retained else 0, "gauge_truncated", name, "",
+                json.dumps({"dropped_samples": dropped,
+                            "capacity": series.capacity,
+                            "total_samples": series.total_samples},
+                           sort_keys=True)])
     return len(bus.events)
 
 
@@ -102,8 +118,14 @@ def _instant(pid: int, tid: int, ts: int, name: str,
 
 
 def to_perfetto(bus: InstrumentationBus,
-                path: Optional[PathLike] = None) -> Dict[str, Any]:
-    """Build (and optionally write) the Chrome trace-event document."""
+                path: Optional[PathLike] = None,
+                profile_snapshots: Optional[List[Dict[str, Any]]] = None
+                ) -> Dict[str, Any]:
+    """Build (and optionally write) the Chrome trace-event document.
+
+    ``profile_snapshots`` (kept metrics snapshots from a profiled run)
+    adds the host-profiler process row next to the simulated tracks.
+    """
     out: List[dict] = []
     tracks: Dict[Tuple[int, int], str] = {}
 
@@ -225,10 +247,94 @@ def to_perfetto(bus: InstrumentationBus,
     # gauge counter tracks
     for idx, (name, series) in enumerate(sorted(bus.gauges.series().items())):
         track(PID_GAUGES, idx, name)
-        for t, v in series.samples():
+        retained = series.samples()
+        if series.dropped_samples:
+            # No silent caps: a wrapped ring announces its truncation at
+            # the first retained sample so the timeline shows where the
+            # series really starts.
+            first_ts = retained[0][0] if retained else 0
+            out.append(_instant(
+                PID_GAUGES, idx, first_ts, f"TRUNCATED {name}",
+                {"dropped_samples": series.dropped_samples,
+                 "capacity": series.capacity,
+                 "total_samples": series.total_samples}))
+        for t, v in retained:
             out.append({"ph": "C", "pid": PID_GAUGES, "tid": idx, "ts": t,
                         "name": name, "args": {"value": v}})
 
+    if profile_snapshots:
+        prof_events, prof_tracks = profile_track_events(profile_snapshots)
+        out.extend(prof_events)
+        tracks.update(prof_tracks)
+
+    out.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    events: List[dict] = []
+    for (pid, tid), thread in sorted(tracks.items()):
+        events.extend(_meta(pid, tid, _PROCESS_NAMES[pid], thread))
+    events.extend(out)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Host-profiler tracks (from streaming-metrics snapshots)
+# ----------------------------------------------------------------------
+def profile_track_events(snapshots: List[Dict[str, Any]]
+                         ) -> Tuple[List[dict], Dict[Tuple[int, int], str]]:
+    """Trace events + track names for kept metrics snapshots.
+
+    Snapshots are the dicts a :class:`repro.obs.metrics.MetricsStream`
+    retains with ``keep=True`` (see ``repro profile --perfetto``).  Two
+    kinds of track, all under ``pid`` :data:`PID_PROFILE`:
+
+    * tid 0 ``intervals`` — one ``X`` slice per snapshot interval whose
+      args carry the interval's cycles/sec (host throughput over sim
+      time, directly comparable with the bench numbers);
+    * tid 1.. — one counter (``C``) track per profiled scope sampling
+      cumulative self-time milliseconds at each snapshot.
+    """
+    out: List[dict] = []
+    tracks: Dict[Tuple[int, int], str] = {}
+    snaps = [s for s in snapshots if s.get("kind") == "snapshot"]
+    if not snaps:
+        return out, tracks
+
+    scope_names = sorted({name for s in snaps
+                          for name in s.get("profile", {})})
+    scope_tid = {name: 1 + i for i, name in enumerate(scope_names)}
+    tracks[(PID_PROFILE, 0)] = "intervals"
+    for name, tid in scope_tid.items():
+        tracks[(PID_PROFILE, tid)] = f"self ms: {name}"
+
+    prev: Optional[Dict[str, Any]] = None
+    for snap in snaps:
+        ts = int(snap["sim_time"])
+        if prev is not None:
+            t0 = int(prev["sim_time"])
+            delta_cycles = ts - t0
+            delta_ns = (snap["host_elapsed_ns"] - prev["host_elapsed_ns"])
+            rate = delta_cycles * 1e9 / delta_ns if delta_ns > 0 else 0.0
+            out.append({"ph": "X", "pid": PID_PROFILE, "tid": 0, "ts": t0,
+                        "dur": max(0, delta_cycles),
+                        "name": f"interval {int(prev.get('seq', 0))}",
+                        "args": {"cycles_per_sec": round(rate, 1),
+                                 "host_ms": round(delta_ns / 1e6, 3)}})
+        for name, rec in snap.get("profile", {}).items():
+            out.append({"ph": "C", "pid": PID_PROFILE,
+                        "tid": scope_tid[name], "ts": ts, "name": name,
+                        "args": {"self_ms":
+                                 round(rec["self_ns"] / 1e6, 3)}})
+        prev = snap
+    return out, tracks
+
+
+def to_perfetto_profile(snapshots: List[Dict[str, Any]],
+                        path: Optional[PathLike] = None) -> Dict[str, Any]:
+    """Standalone Perfetto document holding only the profiler tracks."""
+    out, tracks = profile_track_events(snapshots)
     out.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
     events: List[dict] = []
     for (pid, tid), thread in sorted(tracks.items()):
@@ -279,5 +385,6 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
 
 __all__ = [
     "PID_AGENTS", "PID_COMMIT", "PID_DIRS", "PID_EXEC", "PID_GAUGES",
-    "to_csv", "to_jsonl", "to_perfetto", "validate_perfetto",
+    "PID_PROFILE", "profile_track_events", "to_csv", "to_jsonl",
+    "to_perfetto", "to_perfetto_profile", "validate_perfetto",
 ]

@@ -53,8 +53,12 @@ class RingSeries:
         return self._buf[self._head:] + self._buf[:self._head]
 
     @property
-    def dropped(self) -> int:
+    def dropped_samples(self) -> int:
+        """Samples lost to ring wrap-around (total seen − retained)."""
         return self.total_samples - len(self._buf)
+
+    #: Back-compat alias; ``dropped_samples`` is the documented name.
+    dropped = dropped_samples
 
     def last(self) -> Sample:
         if not self._buf:
@@ -104,6 +108,17 @@ class GaugeSet:
 
     def __contains__(self, name: str) -> bool:
         return name in self._series
+
+    def dropped_samples(self) -> Dict[str, int]:
+        """Per-series wrap losses, only for series that actually wrapped.
+
+        Empty dict means every sample of every series is retained; a
+        non-empty dict is what the exporters surface as a truncation
+        warning (no silent caps in exported telemetry).
+        """
+        return {name: s.dropped_samples
+                for name, s in sorted(self._series.items())
+                if s.dropped_samples}
 
     def to_json(self) -> Dict[str, List[List[float]]]:
         """Chronological samples per series, sorted by series name."""

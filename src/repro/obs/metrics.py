@@ -1,0 +1,279 @@
+"""Bounded streaming metrics: counters, fixed-bucket histograms, JSONL.
+
+The retained-trace observability path (:mod:`repro.obs.bus` events, gauge
+rings) is sized for figure-scale runs; a million-chunk open-loop run would
+grow ``bus.events`` without bound.  This module is the long-run path:
+
+* :class:`CounterMetric` — a monotonic counter, O(1) memory;
+* :class:`FixedHistogram` — a histogram over *fixed* bucket bounds chosen
+  at construction.  Observing a sample updates one bucket plus the
+  count/sum/min/max summary; memory never grows with sample count;
+* :class:`MetricsRegistry` — a named, bounded collection of both;
+* :class:`MetricsStream` — periodic interval snapshots written as JSON
+  Lines.  Each snapshot serializes the registry (and, when attached, the
+  host profiler's cumulative per-scope numbers) and is then forgotten:
+  the stream retains nothing between snapshots unless ``keep=True``
+  (used by the ``repro profile`` CLI to build Perfetto tracks).
+
+Nothing in this module reads the host clock: host timestamps always
+arrive as arguments from :mod:`repro.obs.profile`, the one module allowed
+to call ``time.perf_counter_ns`` (see the SB304 determinism rule).  Sim
+time likewise arrives from the caller, so the metrics layer can never
+perturb simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+SCHEMA = "repro-metrics-v1"
+
+#: Default bucket bounds for host-throughput rates (cycles/sec per
+#: snapshot interval): half-decade steps from 100 to 10M.
+RATE_BOUNDS: Tuple[float, ...] = tuple(
+    round(10 ** (e / 2)) for e in range(4, 15))
+
+
+class CounterMetric:
+    """A monotonic counter (O(1) memory)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, delta: float = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name}: negative increment {delta}")
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CounterMetric({self.name!r}, value={self.value})"
+
+
+class FixedHistogram:
+    """A histogram with fixed bucket bounds: memory independent of samples.
+
+    ``bounds`` are the strictly-increasing upper bucket edges; a sample
+    lands in the first bucket whose edge is >= the value, or in the
+    overflow bucket past the last edge.  ``len(bounds) + 1`` bucket
+    counts plus a count/sum/min/max summary is all that is ever stored.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError(f"histogram {name}: need at least one bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly increasing")
+        self.name = name
+        self.bounds = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # bucket i holds values in (bounds[i-1], bounds[i]]; the final
+        # slot is the overflow bucket for values past the last edge
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FixedHistogram({self.name!r}, n={self.count}, "
+                f"buckets={len(self.bucket_counts)})")
+
+
+class MetricsRegistry:
+    """Named counters and fixed histograms; size set by metric names only."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, CounterMetric] = {}
+        self._histograms: Dict[str, FixedHistogram] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = CounterMetric(name)
+            self._counters[name] = metric
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = RATE_BOUNDS) -> FixedHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = FixedHistogram(name, bounds)
+            self._histograms[name] = metric
+        return metric
+
+    def size(self) -> Tuple[int, int]:
+        """(counter count, histogram count) — the boundedness witness."""
+        return len(self._counters), len(self._histograms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable current state, deterministic key order."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "histograms": {n: h.to_json()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+
+class MetricsStream:
+    """Interval snapshots of a registry, streamed to JSONL.
+
+    Drive it with ``maybe(sim_time, host_ns)`` from a hot path (one
+    integer compare when no snapshot is due) and ``close(...)`` at run
+    end for the final snapshot.  ``host_ns`` is an absolute monotonic
+    nanosecond reading supplied by the caller (normally the host
+    profiler); the first reading anchors elapsed time.
+
+    The stream writes and forgets: resident memory does not grow with
+    run length.  ``keep=True`` opts into retaining snapshot dicts in
+    ``self.snapshots`` for callers that post-process a (small, known)
+    number of intervals.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]], interval: int, *,
+                 registry: Optional[MetricsRegistry] = None,
+                 provenance: Optional[Dict[str, Any]] = None,
+                 keep: bool = False) -> None:
+        if interval <= 0:
+            raise ValueError(f"snapshot interval must be positive: {interval}")
+        self.interval = int(interval)
+        self.next_time = self.interval
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.snapshots_written = 0
+        self.keep = keep
+        self.snapshots: List[Dict[str, Any]] = []
+        self._anchor_ns: Optional[int] = None
+        self._last_sim = 0
+        self._last_ns: Optional[int] = None
+        self._owns_fh = isinstance(sink, str)
+        self._fh: IO[str] = (open(sink, "w", encoding="utf-8")
+                             if isinstance(sink, str) else sink)
+        self._closed = False
+        header: Dict[str, Any] = {"schema": SCHEMA, "kind": "header",
+                                  "interval": self.interval}
+        header.update(provenance or {})
+        self._write(header)
+
+    # ------------------------------------------------------------------
+    def _write(self, doc: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def maybe(self, sim_time: int, host_ns: int,
+              profiler: Optional[Any] = None) -> bool:
+        """Take a snapshot if ``sim_time`` crossed the next boundary."""
+        if sim_time < self.next_time:
+            return False
+        self.take(sim_time, host_ns, profiler)
+        return True
+
+    def take(self, sim_time: int, host_ns: int,
+             profiler: Optional[Any] = None) -> Dict[str, Any]:
+        """Snapshot now: serialize the registry and stream one JSONL line."""
+        if self._anchor_ns is None:
+            self._anchor_ns = host_ns
+        if self._last_ns is not None:
+            delta_cycles = sim_time - self._last_sim
+            delta_ns = host_ns - self._last_ns
+            if delta_ns > 0:
+                self.registry.histogram(
+                    "interval_cycles_per_sec", RATE_BOUNDS).observe(
+                        delta_cycles * 1e9 / delta_ns)
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "kind": "snapshot",
+            "seq": self.snapshots_written,
+            "sim_time": sim_time,
+            "host_elapsed_ns": host_ns - self._anchor_ns,
+        }
+        doc.update(self.registry.snapshot())
+        if profiler is not None:
+            doc["profile"] = profiler.scope_json()
+        self._write(doc)
+        self.snapshots_written += 1
+        self._last_sim = sim_time
+        self._last_ns = host_ns
+        while self.next_time <= sim_time:
+            self.next_time += self.interval
+        if self.keep:
+            self.snapshots.append(doc)
+        return doc
+
+    def close(self, sim_time: int, host_ns: int,
+              profiler: Optional[Any] = None) -> None:
+        """Final snapshot + release the sink (idempotent)."""
+        if self._closed:
+            return
+        self.take(sim_time, host_ns, profiler)
+        self._closed = True
+        if self._owns_fh:
+            self._fh.close()
+
+
+def validate_metrics_jsonl(lines: Sequence[str]) -> List[str]:
+    """Schema-check a streamed metrics document; returns problems."""
+    errors: List[str] = []
+    if not lines:
+        return ["empty document"]
+    seq = -1
+    for i, line in enumerate(lines):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {i}: not JSON ({exc})")
+            continue
+        if doc.get("schema") != SCHEMA:
+            errors.append(f"line {i}: schema is {doc.get('schema')!r}")
+            continue
+        kind = doc.get("kind")
+        if i == 0:
+            if kind != "header":
+                errors.append("line 0: expected the header line")
+            continue
+        if kind != "snapshot":
+            errors.append(f"line {i}: bad kind {kind!r}")
+            continue
+        for key in ("seq", "sim_time", "host_elapsed_ns", "counters",
+                    "histograms"):
+            if key not in doc:
+                errors.append(f"line {i}: missing {key}")
+        if doc.get("seq", -1) <= seq:
+            errors.append(f"line {i}: seq not increasing")
+        seq = doc.get("seq", seq)
+    return errors
+
+
+__all__ = ["SCHEMA", "RATE_BOUNDS", "CounterMetric", "FixedHistogram",
+           "MetricsRegistry", "MetricsStream", "validate_metrics_jsonl"]

@@ -34,6 +34,10 @@ class SignatureFactory:
         self.hash_kind = hash_kind
         self.seed = seed
         self.hashes: HashFamily = make_hash_family(hash_kind, n_banks, self.bank_bits, seed)
+        #: Host-time self-profiler (repro.obs.profile).  Lives on the
+        #: factory because BulkSignature has __slots__ and all of a
+        #: machine's signatures share one factory; None = fast path.
+        self.profiler: Optional[object] = None
         #: line address -> per-bank one-hot masks.  A workload touches each
         #: line many times (every chunk re-inserts its read/write sets), so
         #: hashing each line once and reusing the masks takes the hash out
@@ -94,10 +98,15 @@ class BulkSignature:
     # ------------------------------------------------------------------
     def insert(self, line_addr: int) -> None:
         """Add a line address to the encoded set."""
+        prof = self._factory.profiler
+        if prof is not None:
+            prof.enter("sig.insert")
         banks = self._banks
         for b, mask in enumerate(self._factory.line_masks(line_addr)):
             banks[b] |= mask
         self._count += 1
+        if prof is not None:
+            prof.exit()
 
     def clear(self) -> None:
         """Deallocate: reset to the empty set."""
@@ -116,21 +125,38 @@ class BulkSignature:
     # ------------------------------------------------------------------
     def contains(self, line_addr: int) -> bool:
         """Possibly-present membership test (no false negatives)."""
+        prof = self._factory.profiler
+        if prof is None:
+            banks = self._banks
+            return all(
+                banks[b] & mask
+                for b, mask in enumerate(self._factory.line_masks(line_addr))
+            )
+        prof.enter("sig.member")
         banks = self._banks
-        return all(
+        hit = all(
             banks[b] & mask
             for b, mask in enumerate(self._factory.line_masks(line_addr))
         )
+        prof.exit()
+        return hit
 
     def intersects(self, other: "BulkSignature") -> bool:
         """Possibly-overlapping test: True unless provably disjoint."""
+        prof = self._factory.profiler
+        if prof is not None:
+            prof.enter("sig.intersect")
         self._check_compatible(other)
         if self.is_empty() or other.is_empty():
-            return False
-        return all(
-            self._banks[b] & other._banks[b]
-            for b in range(self._factory.n_banks)
-        )
+            hit = False
+        else:
+            hit = all(
+                self._banks[b] & other._banks[b]
+                for b in range(self._factory.n_banks)
+            )
+        if prof is not None:
+            prof.exit()
+        return hit
 
     def union(self, other: "BulkSignature") -> "BulkSignature":
         out = BulkSignature(self._factory)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Union
 
@@ -84,6 +85,22 @@ def _translate(ev: ObsEvent) -> Optional[TraceEvent]:
     return None
 
 
+_warned = False
+
+
+def _warn_deprecated() -> None:
+    """One DeprecationWarning per process — the shim works, but new code
+    should attach :class:`repro.obs.InstrumentationBus` directly."""
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "repro.tracing.ChunkTracer is a compatibility shim; use "
+        "repro.obs (attach_bus + InstrumentationBus) instead",
+        DeprecationWarning, stacklevel=3)
+
+
 class ChunkTracer:
     """Records the lifecycle of every chunk on a machine.
 
@@ -95,6 +112,7 @@ class ChunkTracer:
     """
 
     def __init__(self, machine) -> None:
+        _warn_deprecated()
         self.machine = machine
         self.bus: InstrumentationBus = attach_bus(
             machine, InstrumentationBus(record_messages=False))

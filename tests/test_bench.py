@@ -64,6 +64,47 @@ class TestValidate:
         assert any("cycles_per_sec" in e for e in bench.validate_bench(doc))
 
 
+def _profile_section(share_a=30.0, share_other=70.0):
+    return {
+        "schema": "repro-profile-v1",
+        "wall_ns": 1_000_000,
+        "scopes": {"engine.dispatch": {"count": 10, "total_ns": 300_000,
+                                       "self_ns": 300_000}},
+        "shares": {"engine.dispatch": share_a, "other": share_other},
+    }
+
+
+class TestValidateProfile:
+    def test_valid_section_passes(self):
+        assert bench._validate_profile(_profile_section()) == []
+
+    def test_non_object_and_missing_shares(self):
+        assert bench._validate_profile("nope") == ["not an object"]
+        assert bench._validate_profile({}) == ["shares missing or empty"]
+
+    def test_shares_off_100_rejected(self):
+        bad = _profile_section(share_a=30.0, share_other=50.0)  # sums to 80
+        assert any("expected 100" in e for e in bench._validate_profile(bad))
+
+    def test_negative_share_rejected(self):
+        bad = _profile_section(share_a=-5.0, share_other=105.0)
+        assert any("negative" in e for e in bench._validate_profile(bad))
+
+    def test_missing_scopes_rejected(self):
+        bad = _profile_section()
+        del bad["scopes"]
+        assert any("scopes" in e for e in bench._validate_profile(bad))
+
+    def test_validate_bench_checks_embedded_profiles(self):
+        doc = _valid_doc()
+        doc["profile"] = _profile_section(share_a=30.0, share_other=50.0)
+        errors = bench.validate_bench(doc)
+        assert any("profile" in e and "expected 100" in e for e in errors)
+        doc["profile"] = _profile_section()
+        doc["macro"]["LU/4/ScalableBulk"]["profile"] = _profile_section()
+        assert bench.validate_bench(doc) == []
+
+
 class TestCompare:
     def test_identical_documents_have_no_regressions(self):
         doc = _valid_doc()

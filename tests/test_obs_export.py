@@ -9,9 +9,13 @@ from repro.obs.export import (
     PID_COMMIT,
     PID_DIRS,
     PID_EXEC,
+    PID_GAUGES,
+    PID_PROFILE,
+    profile_track_events,
     to_csv,
     to_jsonl,
     to_perfetto,
+    to_perfetto_profile,
     validate_perfetto,
 )
 
@@ -93,6 +97,93 @@ class TestPerfettoRoundTrip:
         doc = to_perfetto(InstrumentationBus())
         assert doc["traceEvents"] == []
         assert validate_perfetto(doc) == []
+
+
+def _wrapped_bus(capacity=4, samples=10):
+    """A bus whose one gauge ring wrapped (dropped samples)."""
+    bus = InstrumentationBus(gauge_capacity=capacity)
+    for t in range(samples):
+        bus.gauges.sample("sim_queue", t * 10, float(t))
+    return bus
+
+
+def _snapshots(n=3, scopes=("engine.dispatch", "noc.transit")):
+    """Synthetic kept metrics snapshots (MetricsStream keep=True shape)."""
+    return [{"kind": "snapshot", "seq": i, "sim_time": 1000 * (i + 1),
+             "host_elapsed_ns": 5_000_000 * i,
+             "profile": {name: {"count": 10 * (i + 1),
+                                "total_ns": 2_000_000 * (i + 1),
+                                "self_ns": 1_000_000 * (i + 1)}
+                         for name in scopes}}
+            for i in range(n)]
+
+
+class TestGaugeTruncation:
+    def test_wrapped_ring_announces_truncation_in_perfetto(self):
+        bus = _wrapped_bus(capacity=4, samples=10)
+        doc = to_perfetto(bus)
+        assert validate_perfetto(doc) == []
+        instants = [e for e in doc["traceEvents"]
+                    if e["ph"] == "i" and e["pid"] == PID_GAUGES]
+        assert len(instants) == 1
+        ev = instants[0]
+        assert ev["name"] == "TRUNCATED sim_queue"
+        assert ev["args"]["dropped_samples"] == 6
+        assert ev["args"]["total_samples"] == 10
+        # the marker sits at the first retained sample, not before it
+        first_c = next(e for e in doc["traceEvents"]
+                       if e["ph"] == "C" and e["pid"] == PID_GAUGES)
+        assert ev["ts"] == first_c["ts"]
+        assert (doc["traceEvents"].index(ev)
+                < doc["traceEvents"].index(first_c))
+
+    def test_unwrapped_ring_has_no_truncation_marker(self):
+        bus = _wrapped_bus(capacity=16, samples=10)
+        assert not [e for e in to_perfetto(bus)["traceEvents"]
+                    if e["ph"] == "i" and e["pid"] == PID_GAUGES]
+
+    def test_csv_appends_gauge_truncated_rows(self, tmp_path):
+        bus = _wrapped_bus(capacity=4, samples=10)
+        out = tmp_path / "events.csv"
+        n = to_csv(bus, out)
+        assert n == len(bus.events)      # return value stays event count
+        with open(out, newline="", encoding="utf-8") as fh:
+            rows = [r for r in csv.reader(fh) if r[1] == "gauge_truncated"]
+        assert len(rows) == 1
+        fields = json.loads(rows[0][4])
+        assert fields == {"capacity": 4, "dropped_samples": 6,
+                          "total_samples": 10}
+
+
+class TestProfileTracks:
+    def test_tracks_and_interval_slices(self):
+        events, tracks = profile_track_events(_snapshots())
+        assert tracks[(PID_PROFILE, 0)] == "intervals"
+        assert tracks[(PID_PROFILE, 1)] == "self ms: engine.dispatch"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 2          # N snapshots -> N-1 intervals
+        assert slices[0]["args"]["cycles_per_sec"] > 0
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 6        # 3 snapshots x 2 scopes
+
+    def test_empty_and_headerless_snapshots(self):
+        assert profile_track_events([]) == ([], {})
+        # header lines (kind != snapshot) must be ignored
+        events, tracks = profile_track_events([{"kind": "header"}])
+        assert (events, tracks) == ([], {})
+
+    def test_standalone_doc_validates_and_writes(self, tmp_path):
+        out = tmp_path / "profile.json"
+        doc = to_perfetto_profile(_snapshots(), out)
+        assert validate_perfetto(doc) == []
+        assert json.loads(out.read_text(encoding="utf-8")) == doc
+
+    def test_to_perfetto_merges_profile_snapshots(self, traced_run):
+        bus, _ = traced_run
+        doc = to_perfetto(bus, profile_snapshots=_snapshots())
+        assert validate_perfetto(doc) == []
+        assert any(e["pid"] == PID_PROFILE and e["ph"] != "M"
+                   for e in doc["traceEvents"])
 
 
 class TestValidator:

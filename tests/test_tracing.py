@@ -1,8 +1,11 @@
 """Tests for the chunk-lifecycle tracer."""
 
 import json
+import warnings
 
 import pytest
+
+import repro.tracing
 
 from repro.config import ProtocolKind, SystemConfig
 from repro.cpu.chunk import ChunkAccess, ChunkSpec
@@ -87,6 +90,16 @@ class TestQueriesAndExport:
         assert len(lines) == n > 0
         parsed = json.loads(lines[0])
         assert {"time", "kind", "core", "tag"} <= set(parsed)
+
+    def test_shim_warns_deprecated_exactly_once(self):
+        repro.tracing._warned = False    # undo earlier attaches in-session
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            traced_machine({0: simple_specs(1)})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # a second warning would raise
+            machine, tracer = traced_machine({0: simple_specs(1)})
+        machine.run()                        # shim still round-trips
+        assert tracer.of_kind("commit_success")
 
     def test_tracing_does_not_change_results(self):
         specs = {0: simple_specs(3)}
