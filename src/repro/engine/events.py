@@ -172,23 +172,65 @@ class Simulator:
         including when the queue is empty or drains before that cycle — so
         callers see the same "time has passed" semantics whether or not
         anything was scheduled in the window.
+
+        Dispatch is *batched*: all live events due at the current cycle are
+        drained in one inner loop (one heap pop + one callback each)
+        instead of re-entering :meth:`step`'s peek/pop dance per event.
+        New events a callback schedules for the same cycle always carry a
+        higher ``seq``, so they sort after the in-flight batch and the
+        total (time, seq) execution order is identical to stepwise.  The
+        tie-breaker, instrumentation-bus and profiler paths fall back to
+        :meth:`step` per event — those hooks observe the exact stepwise
+        sequence (``sim_step`` sees each intermediate heap length).
         """
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
-        while self._heap:
-            nxt = self._peek_time()
-            if nxt is None:
-                break
-            if until is not None and nxt > until:
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                pop(heap)
+                continue
+            if until is not None and head.time > until:
                 self.now = until
                 return
-            if not self.step():
-                break
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded max_events={max_events} at cycle {self.now}; "
-                    "possible livelock"
-                )
+            if (self.tie_breaker is not None or self.obs.enabled
+                    or self.profiler is not None):
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} at "
+                        f"cycle {self.now}; possible livelock"
+                    )
+                continue
+            # Fast path: drain the whole cycle.  Events are popped one at a
+            # time (not batch-collected), so a callback that raises leaves
+            # the rest of the cycle queued exactly as step() would, and a
+            # callback that cancels a later same-cycle event is honoured by
+            # the per-event cancelled check.
+            t = head.time
+            self.now = t
+            while heap and heap[0].time == t:
+                if (self.tie_breaker is not None or self.obs.enabled
+                        or self.profiler is not None):
+                    break  # a callback installed a hook: resume stepwise
+                ev = pop(heap)
+                if ev.cancelled:
+                    continue
+                self._live_events -= 1
+                # An executed event is no longer live: flagging it here
+                # makes a late cancel() a no-op (see step()).
+                ev.cancelled = True
+                ev.callback()
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} at "
+                        f"cycle {self.now}; possible livelock"
+                    )
         if until is not None and until > self.now:
             self.now = until
 

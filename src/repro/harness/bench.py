@@ -20,7 +20,7 @@ Usage::
 
     python -m repro bench --quick --jobs 2           # smoke tier
     python -m repro bench --out BENCH_$(date +%F).json
-    python -m repro bench --validate-file BENCH_2026-08-05.json
+    python -m repro bench --validate-file BENCH_2026-08-08.json
     python -m repro bench --check-regression BENCH_old.json BENCH_new.json
 """
 
@@ -180,16 +180,29 @@ def run_micro(name: str, quick: bool, repeat: int) -> Dict[str, Any]:
 # Macro benchmarks
 # ----------------------------------------------------------------------
 def _macro_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool worker: one full simulation, timed."""
+    """Process-pool worker: one full simulation, timed (best of N).
+
+    ``payload["repeat"]`` re-runs the (deterministic) simulation and keeps
+    the fastest wall-clock: host noise only ever inflates a measurement,
+    so the minimum is the best estimate of the simulator's actual speed —
+    the same rationale as ``run_micro``'s best-of.
+    """
     from repro.config import ProtocolKind
     from repro.harness.sweep import run_one
-    record = run_one(payload["app"], payload["n_cores"],
-                     ProtocolKind(payload["protocol"]),
-                     chunks=payload["chunks"],
-                     profile=payload.get("profile", False))
-    # run_one rounds wall_seconds to 2 decimals; clamp to that granularity
-    # so a sub-10ms run cannot explode cycles_per_sec.
-    wall = max(record["wall_seconds"], 0.01)
+    record = None
+    for _ in range(max(1, int(payload.get("repeat", 1)))):
+        attempt = run_one(payload["app"], payload["n_cores"],
+                          ProtocolKind(payload["protocol"]),
+                          chunks=payload["chunks"],
+                          profile=payload.get("profile", False))
+        if record is None or (attempt.get("wall_seconds_raw", attempt["wall_seconds"])
+                              < record.get("wall_seconds_raw", record["wall_seconds"])):
+            record = attempt
+    # Prefer the unrounded wall-clock when run_one provides it (the
+    # display field is rounded to 2 decimals, which quantizes sub-0.2s
+    # runs by up to ~15%); clamp so a sub-10ms run cannot explode
+    # cycles_per_sec.
+    wall = max(record.get("wall_seconds_raw", record["wall_seconds"]), 0.01)
     out = {
         "app": payload["app"],
         "protocol": payload["protocol"],
@@ -207,12 +220,16 @@ def _macro_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def run_macro(quick: bool, jobs: int, log=print,
-              profile: bool = False) -> Dict[str, Dict[str, Any]]:
+              profile: bool = False,
+              repeat: int = 1) -> Dict[str, Dict[str, Any]]:
     from repro.config import ProtocolKind
     from repro.harness.parallel import run_ordered
     matrix = MACRO_MATRIX_QUICK if quick else MACRO_MATRIX
+    # Profiled runs are attribution captures, not timing measurements:
+    # best-of-N would just multiply the timer overhead, so they run once.
     payloads = [{"app": app, "n_cores": n, "chunks": chunks,
-                 "protocol": proto.value, "profile": profile}
+                 "protocol": proto.value, "profile": profile,
+                 "repeat": 1 if profile else max(1, repeat)}
                 for app, n, chunks in matrix for proto in ProtocolKind]
     out: Dict[str, Dict[str, Any]] = {}
 
@@ -250,10 +267,13 @@ def collect_bench(quick: bool = False, jobs: int = 1, repeat: int = 3,
     calibration = calibrate()
     micro: Dict[str, Any] = {}
     for name in MICRO_BENCHES:
-        micro[name] = run_micro(name, quick, 1 if quick else repeat)
+        # best-of-N in the quick tier too: a single noisy shot can swing
+        # a quick micro by 30% on a busy host, which is far beyond the CI
+        # regression threshold — the gate needs the stable minimum.
+        micro[name] = run_micro(name, quick, repeat)
         log(f"  micro {name}: {micro[name]['ops_per_sec']:.0f} ops/s "
             f"({micro[name]['ops']} ops)")
-    macro = run_macro(quick, jobs, log=log, profile=profile)
+    macro = run_macro(quick, jobs, log=log, profile=profile, repeat=repeat)
     doc: Dict[str, Any] = {
         "schema": SCHEMA,
         "date": datetime.date.today().isoformat(),  # repro: allow SB304
@@ -264,7 +284,7 @@ def collect_bench(quick: bool = False, jobs: int = 1, repeat: int = 3,
             "cpus": os.cpu_count() or 1,
         },
         "config": {"quick": quick, "jobs": jobs,
-                   "repeat": 1 if quick else repeat, "profile": profile},
+                   "repeat": repeat, "profile": profile},
         "calibration_ops_per_sec": calibration,
         "micro": micro,
         "macro": macro,

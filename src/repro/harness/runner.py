@@ -10,7 +10,8 @@ by examples, tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from itertools import chain
+from typing import Dict, List, Optional
 
 from repro.config import ProtocolKind, SystemConfig
 from repro.cpu.core import Core
@@ -29,6 +30,9 @@ from repro.workloads.profiles import AppProfile, get_profile
 #: Hard cap on simulator events per run — a livelocked protocol bug fails
 #: loudly instead of hanging the suite.
 DEFAULT_EVENT_GUARD = 200_000_000
+
+#: prewarm page-memo sentinel ("not looked up yet" vs "unmapped page")
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -99,7 +103,7 @@ class Machine:
         self.page_mapper = PageMapper(config.page_bytes, config.n_directories)
         self.sig_factory = SignatureFactory(
             total_bits=config.signature_bits, n_banks=config.signature_banks,
-            seed=config.seed)
+            seed=config.seed, backend=config.signature_backend)
         self.workload = workload
         spec_source = next_spec or workload.next_spec
         if workload is not None:
@@ -130,17 +134,66 @@ class Machine:
         home directory so commit-time invalidation stays conservative."""
         if self.workload is None:
             return 0
+        runs_source = getattr(self.workload, "prewarm_runs", None)
+        if runs_source is not None:
+            runs = runs_source()
+        else:
+            # Workloads without a run-level plan (e.g. trace files) fall
+            # back to unit runs; the flattened fill sequence is identical.
+            runs = ((core, line, 1)
+                    for core, line in self.workload.prewarm_plan())
         filled = 0
-        line_bytes = self.config.line_bytes
-        page_bytes = self.config.page_bytes
-        for core_id, line in self.workload.prewarm_plan():
-            core = self.cores[core_id]
-            core.hierarchy.l2.fill(line)
-            home = self.page_mapper.lookup(line * line_bytes // page_bytes)
-            if home is not None:
-                info = self.directories[home].lines.setdefault(line, LineInfo())
-                info.sharers.add(core_id)
-            filled += 1
+        lines_per_page = self.config.page_bytes // self.config.line_bytes
+        directories = self.directories
+        lookup = self.page_mapper.lookup
+        # page -> the home directory's line table (None if unmapped); pages
+        # hold many lines, so memoizing the home lookup per page takes the
+        # mapper out of the per-line loop
+        home_lines: Dict[int, Optional[Dict[int, LineInfo]]] = {}
+        # Pass 1: directory registration in plan order (the line-table
+        # insertion order is observable downstream, so it must not change),
+        # collecting each core's fill runs for the bulk pass.
+        per_core_fills: List[List[range]] = [[] for _ in self.cores]
+        for core_id, start, count in runs:
+            end = start + count
+            per_core_fills[core_id].append(range(start, end))
+            filled += count
+            line = start
+            while line < end:
+                page = line // lines_per_page
+                # a run usually sits inside one page; a shared-slice run
+                # can straddle a boundary, so register page segments
+                seg_end = min(end, (page + 1) * lines_per_page)
+                lines = home_lines.get(page, _UNRESOLVED)
+                first_visit = lines is _UNRESOLVED
+                if first_visit:
+                    home = lookup(page)
+                    lines = None if home is None else directories[home].lines
+                    home_lines[page] = lines
+                if lines is None:
+                    line = seg_end
+                    continue
+                if first_visit:
+                    # no line of this page can be tracked yet (only this
+                    # loop registers prewarm lines, page by page)
+                    for addr in range(line, seg_end):
+                        lines[addr] = LineInfo({core_id})
+                else:
+                    lines_get = lines.get
+                    for addr in range(line, seg_end):
+                        info = lines_get(addr)
+                        if info is None:
+                            lines[addr] = LineInfo({core_id})
+                        else:
+                            info.sharers.add(core_id)
+                line = seg_end
+        # Pass 2: bulk-fill each L2.  Caches are per-core, so splitting the
+        # interleaved plan by core preserves every cache's fill order (and
+        # therefore residency, LRU state and eviction count) exactly.
+        for core_id, fills in enumerate(per_core_fills):
+            if fills:
+                self.cores[core_id].hierarchy.l2.fill_many(
+                    chain.from_iterable(fills))
         return filled
 
     def run(self, max_events: int = DEFAULT_EVENT_GUARD,

@@ -29,7 +29,7 @@ from repro.network.noc import Network
 from repro.obs.bus import NULL_BUS, NullBus
 
 
-@dataclass
+@dataclass(slots=True)
 class LineInfo:
     """Directory state for one tracked line."""
 

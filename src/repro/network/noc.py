@@ -93,8 +93,6 @@ class Network:
         rows, cols = config.mesh_shape
         self.topology = Torus2D(rows, cols)
         self._handlers: Dict[NodeRef, Handler] = {}
-        #: per-link earliest-free cycle, keyed by (from_tile, to_tile)
-        self._link_free_at: Dict[tuple, int] = {}
         self.stats = TrafficStats()
         self.contention = config.network_contention
         #: Exploration hook: perturbs delivery latency (None = the exact
@@ -107,10 +105,20 @@ class Network:
         #: small message cannot overtake an earlier large one on its flow.
         self._last_delivery: Dict[Tuple[NodeRef, NodeRef], int] = {}
         self._hop_cost = config.link_latency_cycles + config.router_latency_cycles
-        #: (src_tile, dst_tile) -> (links, uncontended hop latency); routes
-        #: are static under dimension-order routing, so they are computed
-        #: once instead of re-allocated per message.
-        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[tuple, ...], int]] = {}
+        self._link_width = config.link_width_bytes
+        #: message size -> serialization cycles (link_width is fixed per
+        #: network, so ceil-div per message is a table lookup)
+        self._ser_cache: Dict[int, int] = {}
+        #: links are interned to dense ints the first time a route touches
+        #: them: the contention walk then indexes a flat list instead of
+        #: hashing (from_tile, to_tile) tuples per hop.
+        self._link_index: Dict[tuple, int] = {}
+        self._link_free: list = []   #: link index -> earliest-free cycle
+        #: (src_tile, dst_tile) -> (link indices, uncontended hop latency,
+        #: hop count); routes are static under dimension-order routing, so
+        #: they are computed once instead of re-allocated per message.
+        self._route_cache: Dict[Tuple[int, int],
+                                Tuple[Tuple[int, ...], int, int]] = {}
         #: Instrumentation sink (repro.obs); null bus = zero overhead.
         self.obs: NullBus = NULL_BUS
         #: Host-time self-profiler (repro.obs.profile); None = fast path.
@@ -140,12 +148,23 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> int:
         """Inject ``msg`` now; returns the delivery latency in cycles."""
-        prof = self.profiler
-        if prof is not None:
-            prof.enter("noc.transit")
+        # The handler check comes before *any* mutation (sent_at stamp,
+        # link bookkeeping, FIFO clamp, stats) and before the profiler
+        # scope opens: an unregistered destination raises with the network
+        # exactly as it was and the profiler stack balanced.
         handler = self._handlers.get(msg.dst)
         if handler is None:
             raise KeyError(f"no handler registered for destination {msg.dst}")
+        prof = self.profiler
+        if prof is None:
+            return self._send(msg, handler)
+        prof.enter("noc.transit")
+        try:
+            return self._send(msg, handler)
+        finally:
+            prof.exit()
+
+    def _send(self, msg: Message, handler: Handler) -> int:
         msg.sent_at = self.sim.now
         latency, hops = self._transit_time(msg)
         if self.delay_hook is not None:
@@ -176,8 +195,6 @@ class Network:
         else:
             self.sim.schedule(latency, lambda m=msg, h=handler: h(m),
                               tag=("deliver", msg.src, msg.dst, msg.uid))
-        if prof is not None:
-            prof.exit()
         return latency
 
     def _transit_time(self, msg: Message) -> tuple:
@@ -186,26 +203,48 @@ class Network:
         if src_tile == dst_tile:
             return 1, 0
 
-        serialization = max(1, -(-msg.size_bytes // self.config.link_width_bytes))
+        size = msg.size_bytes
+        serialization = self._ser_cache.get(size)
+        if serialization is None:
+            serialization = max(1, -(-size // self._link_width))
+            self._ser_cache[size] = serialization
         cached = self._route_cache.get((src_tile, dst_tile))
         if cached is None:
-            links = tuple(self.topology.route(src_tile, dst_tile))
-            cached = (links, self._hop_cost * len(links))
-            self._route_cache[(src_tile, dst_tile)] = cached
-        route, route_hop_latency = cached
+            cached = self._intern_route(src_tile, dst_tile)
+        route, route_hop_latency, n_hops = cached
 
         if not self.contention:
-            return serialization + route_hop_latency, len(route)
+            return serialization + route_hop_latency, n_hops
 
         hop_cost = self._hop_cost
-        time = self.sim.now
-        link_free_at = self._link_free_at
-        for link in route:
-            depart = max(time, link_free_at.get(link, 0))
-            link_free_at[link] = depart + serialization
+        now = self.sim.now
+        time = now
+        link_free = self._link_free
+        for li in route:
+            depart = link_free[li]
+            if depart < time:
+                depart = time
+            link_free[li] = depart + serialization
             time = depart + hop_cost
         time += serialization  # tail flits drain on the final link
-        return time - self.sim.now, len(route)
+        return time - now, n_hops
+
+    def _intern_route(self, src_tile: int,
+                      dst_tile: int) -> Tuple[Tuple[int, ...], int, int]:
+        """Compute, intern and cache the (src, dst) dimension-order route."""
+        links = tuple(self.topology.route(src_tile, dst_tile))
+        index = self._link_index
+        free = self._link_free
+        idxs = []
+        for link in links:
+            li = index.get(link)
+            if li is None:
+                li = index[link] = len(free)
+                free.append(0)
+            idxs.append(li)
+        cached = (tuple(idxs), self._hop_cost * len(links), len(links))
+        self._route_cache[(src_tile, dst_tile)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -224,8 +263,13 @@ class Network:
 
     # ------------------------------------------------------------------
     def link_utilization_snapshot(self) -> Dict[tuple, int]:
-        """Copy of per-link next-free times (congestion diagnostics)."""
-        return dict(self._link_free_at)
+        """Per-link next-free times (congestion diagnostics).
+
+        Keys are (from_tile, to_tile) links that some route has traversed;
+        values are the earliest cycle each link frees up.
+        """
+        free = self._link_free
+        return {link: free[li] for link, li in self._link_index.items()}
 
 
 __all__ = ["DelayHook", "Handler", "Network", "TrafficStats",

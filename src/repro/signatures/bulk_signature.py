@@ -12,20 +12,61 @@ exactly one bit in every bank.  Consequently:
 These are exactly the tests a ScalableBulk directory performs on incoming
 loads and incoming (R, W) pairs (paper Fig. 2), and the tests a processor
 performs for chunk disambiguation on a received bulk invalidation.
+
+Storage layout (the compiled-core speed push): all banks live in ONE
+packed Python int — bank ``b`` occupies bit slice
+``[b * bank_bits, (b + 1) * bank_bits)``.  A line's per-bank one-hot masks
+fold into a single *packed mask*, so the hot operations collapse to one
+big-int op each:
+
+* ``insert``    — ``bits |= mask``
+* ``contains``  — ``bits & mask == mask`` (its bit set in *every* bank)
+* ``intersects``— one AND, then an n_banks-slice emptiness scan
+
+The banked semantics are unchanged: per-bank views are recovered on
+demand (``banks()``), and the bank-local ``line_masks`` API is kept for
+diagnostics and tests.
+
+An alternative numpy bit-array backend lives in
+:mod:`repro.signatures.numpy_backend`; :class:`SignatureFactory` selects
+the backend from its ``backend`` argument, the machine configuration, or
+the ``REPRO_SIG_BACKEND`` environment variable.  Both backends are
+bit-for-bit equivalent (property-tested in
+``tests/test_signature_backends.py``).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.signatures.hashing import HashFamily, make_hash_family
+
+#: Recognised signature storage backends.
+BACKENDS = ("python", "numpy")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name: config > $REPRO_SIG_BACKEND > python.
+
+    ``None`` and ``"auto"`` both mean "no explicit choice" and defer to
+    the ``REPRO_SIG_BACKEND`` environment variable (then ``python``).
+    """
+    if backend is not None and backend.lower() == "auto":
+        backend = None
+    name = (backend or os.environ.get("REPRO_SIG_BACKEND") or "python").lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown signature backend {name!r}; expected one of {BACKENDS}")
+    return name
 
 
 class SignatureFactory:
     """Creates signatures that share one hash family (one per machine)."""
 
     def __init__(self, total_bits: int = 2048, n_banks: int = 4,
-                 hash_kind: str = "mult", seed: int = 2010) -> None:
+                 hash_kind: str = "mult", seed: int = 2010,
+                 backend: Optional[str] = None) -> None:
         if total_bits % n_banks:
             raise ValueError("total_bits must divide into banks evenly")
         self.total_bits = total_bits
@@ -34,16 +75,33 @@ class SignatureFactory:
         self.hash_kind = hash_kind
         self.seed = seed
         self.hashes: HashFamily = make_hash_family(hash_kind, n_banks, self.bank_bits, seed)
+        self.backend = resolve_backend(backend)
         #: Host-time self-profiler (repro.obs.profile).  Lives on the
         #: factory because BulkSignature has __slots__ and all of a
         #: machine's signatures share one factory; None = fast path.
         self.profiler: Optional[object] = None
-        #: line address -> per-bank one-hot masks.  A workload touches each
-        #: line many times (every chunk re-inserts its read/write sets), so
-        #: hashing each line once and reusing the masks takes the hash out
-        #: of the insert/contains hot path.  Bounded by the workload's
+        #: line address -> packed all-banks mask (one bit per bank, each in
+        #: its bank's slice).  A workload touches each line many times
+        #: (every chunk re-inserts its read/write sets), so hashing each
+        #: line once and reusing the mask takes the hash out of the
+        #: insert/contains hot path.  Bounded by the workload's
         #: distinct-line footprint.
-        self._mask_cache: Dict[int, Tuple[int, ...]] = {}
+        self._mask_cache: Dict[int, int] = {}
+        #: line address -> bank-local one-hot masks (diagnostics API).
+        self._bank_mask_cache: Dict[int, Tuple[int, ...]] = {}
+        #: per-bank slice masks of the packed layout (intersection scan).
+        bank_ones = (1 << self.bank_bits) - 1
+        self.bank_slices: Tuple[int, ...] = tuple(
+            bank_ones << (b * self.bank_bits) for b in range(n_banks))
+        self._signature_cls = self._resolve_signature_cls()
+
+    def _resolve_signature_cls(self) -> type:
+        if self.backend == "numpy":
+            from repro.signatures.numpy_backend import (
+                NumpyBulkSignature, require_numpy)
+            require_numpy(self)
+            return NumpyBulkSignature
+        return BulkSignature
 
     @property
     def hash_params(self) -> Tuple[int, int, str, int]:
@@ -51,47 +109,65 @@ class SignatureFactory:
 
         Two factories with equal ``hash_params`` map every address to the
         same bit positions, so their signatures are safely comparable.
+        The storage backend is deliberately excluded: backends are
+        bit-for-bit equivalent views of the same encoded set.
         """
         return (self.total_bits, self.n_banks, self.hash_kind, self.seed)
 
+    def packed_mask(self, line_addr: int) -> int:
+        """All-banks packed mask for ``line_addr`` (memoized hot path)."""
+        mask = self._mask_cache.get(line_addr)
+        if mask is None:
+            hashes = self.hashes
+            bank_bits = self.bank_bits
+            mask = 0
+            for b in range(self.n_banks):
+                mask |= 1 << (b * bank_bits + hashes.bit_index(b, line_addr))
+            self._mask_cache[line_addr] = mask
+        return mask
+
     def line_masks(self, line_addr: int) -> Tuple[int, ...]:
         """Per-bank one-hot bit masks for ``line_addr`` (memoized)."""
-        masks = self._mask_cache.get(line_addr)
+        masks = self._bank_mask_cache.get(line_addr)
         if masks is None:
-            hashes = self.hashes
-            masks = tuple(1 << hashes.bit_index(b, line_addr)
+            packed = self.packed_mask(line_addr)
+            bank_bits = self.bank_bits
+            bank_ones = (1 << bank_bits) - 1
+            masks = tuple((packed >> (b * bank_bits)) & bank_ones
                           for b in range(self.n_banks))
-            self._mask_cache[line_addr] = masks
+            self._bank_mask_cache[line_addr] = masks
         return masks
 
     def empty(self) -> "BulkSignature":
-        """A fresh, empty signature."""
-        return BulkSignature(self)
+        """A fresh, empty signature (backend chosen at factory build)."""
+        return self._signature_cls(self)
 
     def from_lines(self, lines: Iterable[int]) -> "BulkSignature":
-        sig = self.empty()
-        for line in lines:
-            sig.insert(line)
+        """Fold a whole line set into a fresh signature in one pass."""
+        sig = self._signature_cls(self)
+        sig.insert_many(lines)
         return sig
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"SignatureFactory(total_bits={self.total_bits}, "
-                f"n_banks={self.n_banks})")
+                f"n_banks={self.n_banks}, backend={self.backend!r})")
 
 
 class BulkSignature:
     """One chunk's R or W signature.
 
-    Bits are stored as one Python int per bank.  All mutating operations are
-    O(1) per address; intersection tests are O(banks) big-int ANDs.
+    All banks are stored in one packed Python int (bank ``b`` at bit slice
+    ``b * bank_bits``).  Mutating operations are one big-int OR per
+    address; membership is one AND + compare; intersection is one AND plus
+    an O(banks) slice scan.
     """
 
-    __slots__ = ("_factory", "_banks", "_count")
+    __slots__ = ("_factory", "_bits", "_count")
 
     def __init__(self, factory: SignatureFactory) -> None:
         self._factory = factory
-        self._banks: List[int] = [0] * factory.n_banks
-        self._count = 0  #: number of insert() calls (not distinct addresses)
+        self._bits: int = 0
+        self._count = 0  #: number of inserted addresses (not distinct)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -99,26 +175,53 @@ class BulkSignature:
     def insert(self, line_addr: int) -> None:
         """Add a line address to the encoded set."""
         prof = self._factory.profiler
-        if prof is not None:
-            prof.enter("sig.insert")
-        banks = self._banks
-        for b, mask in enumerate(self._factory.line_masks(line_addr)):
-            banks[b] |= mask
-        self._count += 1
-        if prof is not None:
+        if prof is None:
+            self._bits |= self._factory.packed_mask(line_addr)
+            self._count += 1
+            return
+        prof.enter("sig.insert")
+        try:
+            self._bits |= self._factory.packed_mask(line_addr)
+            self._count += 1
+        finally:
+            prof.exit()
+
+    def insert_many(self, lines: Iterable[int]) -> None:
+        """Fold a whole read/write set in one pass (one final OR)."""
+        prof = self._factory.profiler
+        if prof is None:
+            packed_mask = self._factory.packed_mask
+            bits = 0
+            n = 0
+            for line in lines:
+                bits |= packed_mask(line)
+                n += 1
+            self._bits |= bits
+            self._count += n
+            return
+        prof.enter("sig.insert")
+        try:
+            packed_mask = self._factory.packed_mask
+            bits = 0
+            n = 0
+            for line in lines:
+                bits |= packed_mask(line)
+                n += 1
+            self._bits |= bits
+            self._count += n
+        finally:
             prof.exit()
 
     def clear(self) -> None:
         """Deallocate: reset to the empty set."""
-        self._banks = [0] * self._factory.n_banks
+        self._bits = 0
         self._count = 0
 
     def union_update(self, other: "BulkSignature") -> None:
         """In-place union (used to fold R and W for disambiguation)."""
         self._check_compatible(other)
-        for b in range(self._factory.n_banks):
-            self._banks[b] |= other._banks[b]
-        self._count += other._count
+        self._bits |= other.packed_bits()
+        self._count += other.inserts
 
     # ------------------------------------------------------------------
     # Queries
@@ -127,41 +230,38 @@ class BulkSignature:
         """Possibly-present membership test (no false negatives)."""
         prof = self._factory.profiler
         if prof is None:
-            banks = self._banks
-            return all(
-                banks[b] & mask
-                for b, mask in enumerate(self._factory.line_masks(line_addr))
-            )
+            mask = self._factory.packed_mask(line_addr)
+            return self._bits & mask == mask
         prof.enter("sig.member")
-        banks = self._banks
-        hit = all(
-            banks[b] & mask
-            for b, mask in enumerate(self._factory.line_masks(line_addr))
-        )
-        prof.exit()
-        return hit
+        try:
+            mask = self._factory.packed_mask(line_addr)
+            return self._bits & mask == mask
+        finally:
+            prof.exit()
 
     def intersects(self, other: "BulkSignature") -> bool:
         """Possibly-overlapping test: True unless provably disjoint."""
         prof = self._factory.profiler
-        if prof is not None:
-            prof.enter("sig.intersect")
-        self._check_compatible(other)
-        if self.is_empty() or other.is_empty():
-            hit = False
-        else:
-            hit = all(
-                self._banks[b] & other._banks[b]
-                for b in range(self._factory.n_banks)
-            )
-        if prof is not None:
+        if prof is None:
+            self._check_compatible(other)
+            both = self._bits & other.packed_bits()
+            return all(both & s for s in self._factory.bank_slices)
+        prof.enter("sig.intersect")
+        try:
+            self._check_compatible(other)
+            both = self._bits & other.packed_bits()
+            return all(both & s for s in self._factory.bank_slices)
+        finally:
             prof.exit()
-        return hit
 
     def union(self, other: "BulkSignature") -> "BulkSignature":
+        # A cross-hash-family union would interleave bits hashed with
+        # different functions into one signature: downstream intersects()
+        # could then miss real conflicts.  Same check as union_update.
+        self._check_compatible(other)
         out = BulkSignature(self._factory)
-        out._banks = [a | b for a, b in zip(self._banks, other._banks)]
-        out._count = self._count + other._count
+        out._bits = self._bits | other.packed_bits()
+        out._count = self._count + other.inserts
         return out
 
     def expand(self, candidates: Iterable[int]) -> List[int]:
@@ -173,16 +273,16 @@ class BulkSignature:
         return [line for line in candidates if self.contains(line)]
 
     def is_empty(self) -> bool:
-        return not any(self._banks)
+        return not self._bits
 
     def bit_count(self) -> int:
         """Total set bits across banks (density / aliasing diagnostics)."""
-        return sum(b.bit_count() for b in self._banks)
+        return self._bits.bit_count()
 
     def false_positive_probability(self) -> float:
         """Analytic FP rate for a membership probe against this signature."""
         prob = 1.0
-        for bank in self._banks:
+        for bank in self.banks():
             prob *= bank.bit_count() / self._factory.bank_bits
         return prob
 
@@ -195,14 +295,23 @@ class BulkSignature:
         return self._factory
 
     # ------------------------------------------------------------------
+    def packed_bits(self) -> int:
+        """The packed all-banks int (the canonical cross-backend view)."""
+        return self._bits
+
     def copy(self) -> "BulkSignature":
         out = BulkSignature(self._factory)
-        out._banks = list(self._banks)
+        out._bits = self._bits
         out._count = self._count
         return out
 
     def banks(self) -> Iterator[int]:
-        return iter(self._banks)
+        """Per-bank ints, bank 0 first (views of the packed storage)."""
+        bits = self._bits
+        bank_bits = self._factory.bank_bits
+        bank_ones = (1 << bank_bits) - 1
+        for b in range(self._factory.n_banks):
+            yield (bits >> (b * bank_bits)) & bank_ones
 
     def _check_compatible(self, other: "BulkSignature") -> None:
         # Matching geometry is not enough: a different hash kind or seed
@@ -218,7 +327,7 @@ class BulkSignature:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BulkSignature):
             return NotImplemented
-        return self._banks == other._banks
+        return self.packed_bits() == other.packed_bits()
 
     def __hash__(self) -> int:  # signatures are mutable; identity hashing
         return id(self)
@@ -243,4 +352,5 @@ def exact_conflict(read_set: Set[int], write_set: Set[int],
     return bool(other_write_set & read_set) or bool(other_write_set & write_set)
 
 
-__all__ = ["BulkSignature", "SignatureFactory", "definitely_disjoint", "exact_conflict"]
+__all__ = ["BACKENDS", "BulkSignature", "SignatureFactory",
+           "definitely_disjoint", "exact_conflict", "resolve_backend"]

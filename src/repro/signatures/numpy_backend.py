@@ -1,0 +1,243 @@
+"""Numpy packed-bitarray signature backend (``REPRO_SIG_BACKEND=numpy``).
+
+Stores the same packed bank layout as the pure-python
+:class:`~repro.signatures.bulk_signature.BulkSignature` — bank ``b`` at
+bit slice ``[b * bank_bits, (b + 1) * bank_bits)`` — but in a little-endian
+``uint64`` word array instead of one Python int.  Word-array OR/AND keeps
+per-op cost flat as ``total_bits`` grows (a Python big-int op re-allocates
+the full digit string), which is the regime the 256/1024-core scaling
+studies need: wider signatures without the hot loop getting slower.
+
+The two backends are bit-for-bit equivalent — ``packed_bits()`` is the
+canonical integer view on both, and the property test in
+``tests/test_signature_backends.py`` drives them in lockstep.  Backends
+interoperate: any cross-backend binary op falls back to the integer view.
+
+Numpy is an optional dependency at runtime: this module imports lazily
+and :func:`require_numpy` turns a missing install into a clear error at
+factory construction, not deep inside a run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.signatures.bulk_signature import SignatureFactory
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the default env
+    _np = None
+
+#: bits per storage word.
+WORD_BITS = 64
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def require_numpy(factory: "SignatureFactory") -> None:
+    """Validate that ``factory`` can host the numpy backend.
+
+    Raises with an actionable message instead of failing mid-run.  The
+    bank-alignment requirement keeps every bank a contiguous word slice,
+    which is what makes the per-bank intersection scan a slice ``any()``.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "signature backend 'numpy' requested but numpy is not "
+            "installed; use the 'python' backend")
+    if factory.bank_bits % WORD_BITS:
+        raise ValueError(
+            "numpy signature backend needs bank_bits divisible by "
+            f"{WORD_BITS} (got total_bits={factory.total_bits}, "
+            f"n_banks={factory.n_banks} -> bank_bits={factory.bank_bits})")
+    if not hasattr(factory, "_np_mask_cache"):
+        factory._np_mask_cache = {}
+
+
+class NumpyBulkSignature:
+    """Word-array twin of ``BulkSignature`` (identical API + bit layout)."""
+
+    __slots__ = ("_factory", "_words", "_count")
+
+    def __init__(self, factory: "SignatureFactory") -> None:
+        require_numpy(factory)
+        self._factory = factory
+        self._words = _np.zeros(factory.total_bits // WORD_BITS,
+                                dtype=_np.uint64)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # packed-int <-> word-array bridging
+    # ------------------------------------------------------------------
+    def _np_mask(self, line_addr: int) -> "_np.ndarray":
+        cache = self._factory._np_mask_cache
+        mask = cache.get(line_addr)
+        if mask is None:
+            mask = _int_to_words(self._factory.packed_mask(line_addr),
+                                 self._factory.total_bits)
+            cache[line_addr] = mask
+        return mask
+
+    def _other_words(self, other: object) -> "_np.ndarray":
+        """Word view of any compatible signature (either backend)."""
+        if isinstance(other, NumpyBulkSignature):
+            return other._words
+        return _int_to_words(other.packed_bits(), self._factory.total_bits)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, line_addr: int) -> None:
+        prof = self._factory.profiler
+        if prof is None:
+            self._words |= self._np_mask(line_addr)
+            self._count += 1
+            return
+        prof.enter("sig.insert")
+        try:
+            self._words |= self._np_mask(line_addr)
+            self._count += 1
+        finally:
+            prof.exit()
+
+    def insert_many(self, lines: Iterable[int]) -> None:
+        prof = self._factory.profiler
+        if prof is None:
+            self._insert_many(lines)
+            return
+        prof.enter("sig.insert")
+        try:
+            self._insert_many(lines)
+        finally:
+            prof.exit()
+
+    def _insert_many(self, lines: Iterable[int]) -> None:
+        np_mask = self._np_mask
+        acc = _np.zeros_like(self._words)
+        n = 0
+        for line in lines:
+            acc |= np_mask(line)
+            n += 1
+        self._words |= acc
+        self._count += n
+
+    def clear(self) -> None:
+        self._words[:] = 0
+        self._count = 0
+
+    def union_update(self, other: object) -> None:
+        self._check_compatible(other)
+        self._words |= self._other_words(other)
+        self._count += other.inserts
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, line_addr: int) -> bool:
+        prof = self._factory.profiler
+        if prof is None:
+            mask = self._np_mask(line_addr)
+            return bool(((self._words & mask) == mask).all())
+        prof.enter("sig.member")
+        try:
+            mask = self._np_mask(line_addr)
+            return bool(((self._words & mask) == mask).all())
+        finally:
+            prof.exit()
+
+    def intersects(self, other: object) -> bool:
+        prof = self._factory.profiler
+        if prof is None:
+            return self._intersects(other)
+        prof.enter("sig.intersect")
+        try:
+            return self._intersects(other)
+        finally:
+            prof.exit()
+
+    def _intersects(self, other: object) -> bool:
+        self._check_compatible(other)
+        both = self._words & self._other_words(other)
+        wpb = self._factory.bank_bits // WORD_BITS
+        for b in range(self._factory.n_banks):
+            if not both[b * wpb:(b + 1) * wpb].any():
+                return False
+        return True
+
+    def union(self, other: object) -> "NumpyBulkSignature":
+        self._check_compatible(other)
+        out = NumpyBulkSignature(self._factory)
+        out._words = self._words | self._other_words(other)
+        out._count = self._count + other.inserts
+        return out
+
+    def expand(self, candidates: Iterable[int]) -> List[int]:
+        return [line for line in candidates if self.contains(line)]
+
+    def is_empty(self) -> bool:
+        return not self._words.any()
+
+    def bit_count(self) -> int:
+        return int(_np.unpackbits(self._words.view(_np.uint8)).sum())
+
+    def false_positive_probability(self) -> float:
+        prob = 1.0
+        for bank in self.banks():
+            prob *= bank.bit_count() / self._factory.bank_bits
+        return prob
+
+    @property
+    def inserts(self) -> int:
+        return self._count
+
+    @property
+    def factory(self) -> "SignatureFactory":
+        return self._factory
+
+    # ------------------------------------------------------------------
+    def packed_bits(self) -> int:
+        return int.from_bytes(self._words.tobytes(), "little")
+
+    def copy(self) -> "NumpyBulkSignature":
+        out = NumpyBulkSignature(self._factory)
+        out._words = self._words.copy()
+        out._count = self._count
+        return out
+
+    def banks(self) -> Iterator[int]:
+        wpb = self._factory.bank_bits // WORD_BITS
+        for b in range(self._factory.n_banks):
+            chunk = self._words[b * wpb:(b + 1) * wpb]
+            yield int.from_bytes(chunk.tobytes(), "little")
+
+    def _check_compatible(self, other: object) -> None:
+        of = other.factory
+        if of is not self._factory and of.hash_params != self._factory.hash_params:
+            raise ValueError(
+                "signatures from incompatible factories: "
+                f"{self._factory.hash_params} vs {of.hash_params}")
+
+    def __eq__(self, other: object) -> bool:
+        if not hasattr(other, "packed_bits"):
+            return NotImplemented
+        return self.packed_bits() == other.packed_bits()
+
+    def __hash__(self) -> int:  # mutable; identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"NumpyBulkSignature(bits={self.bit_count()}, "
+                f"inserts={self._count})")
+
+
+def _int_to_words(value: int, total_bits: int) -> "_np.ndarray":
+    data = value.to_bytes(total_bits // 8, "little")
+    return _np.frombuffer(data, dtype=_np.uint64).copy()
+
+
+__all__ = ["NumpyBulkSignature", "WORD_BITS", "numpy_available",
+           "require_numpy"]

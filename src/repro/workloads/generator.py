@@ -112,7 +112,23 @@ class SyntheticWorkload:
         working set in sequence, so anything beyond one L2 naturally
         thrashes (the source of the paper's superlinear speedups).
         """
+        for core, start, count in self.prewarm_runs():
+            for line in range(start, start + count):
+                yield core, line
+
+    def prewarm_runs(self):
+        """``prewarm_plan`` with consecutive lines coalesced into runs.
+
+        Yields (core_id, start_line, count) triples; flattening each run
+        back to per-line fills reproduces :meth:`prewarm_plan`'s sequence
+        one-to-one (it is *defined* as this flattening).  The prewarm set
+        is tens of thousands of lines laid out page-by-page, so the
+        run-level view lets :meth:`Machine.prewarm
+        <repro.harness.runner.Machine.prewarm>` amortize per-page work
+        (home lookup, cache set walks) over whole runs.
+        """
         p = self.profile
+        lpp = self.lines_per_page
         private_base = PRIVATE_BASE // self.page_bytes
         shared_base = SHARED_BASE // self.page_bytes
         stride = p.private_pages_per_partition + 8
@@ -121,31 +137,26 @@ class SyntheticWorkload:
             core = part % self.active_cores
             for j in range(p.private_pages_per_partition):
                 page = private_base + part * stride + j
-                for k in range(self.lines_per_page):
-                    yield core, page * self.lines_per_page + k
+                yield core, page * lpp, lpp
             if p.sharing_pattern == "neighbor":
                 for j in range(slab):
                     page = shared_base + (part * slab + j) % p.shared_pages
-                    for k in range(self.lines_per_page):
-                        yield core, page * self.lines_per_page + k
+                    yield core, page * lpp, lpp
             elif p.sharing_pattern in ("bucket", "uniform"):
                 for j in range(p.shared_pages):
                     page = shared_base + j
                     start, per = self._slice_bounds(page, part)
-                    for k in range(per):
-                        yield core, start + k
+                    if per:
+                        yield core, start, per
         if p.sharing_pattern != "neighbor":
             # In steady state every shared page is resident in *some* cache
             # (page-interleaved across the active cores), so shared reads
             # are remote cache-to-cache transfers, not memory fetches.
             for j in range(p.shared_pages):
                 page = shared_base + j
-                holder = j % self.active_cores
-                for k in range(self.lines_per_page):
-                    yield holder, page * self.lines_per_page + k
+                yield j % self.active_cores, page * lpp, lpp
         hot_page = HOT_BASE // self.page_bytes
-        for k in range(self.lines_per_page):
-            yield 0, hot_page * self.lines_per_page + k
+        yield 0, hot_page * lpp, lpp
 
     # ------------------------------------------------------------------
     # Dispensing (the Core's next_spec callback)

@@ -327,3 +327,47 @@ class TestHostileDelayHook:
         assert compose_delay_hooks(None, None) is None
         solo = lambda m, l: 3
         assert compose_delay_hooks(None, solo, None) is solo
+
+
+class TestSendFailureAtomicity:
+    """A send to an unregistered destination must be a pure no-op.
+
+    The handler check runs before *any* mutation: no traffic stats, no
+    FIFO-clamp entry, no link bookkeeping, no sent_at stamp, no scheduled
+    event — and with a profiler attached, a balanced profiler stack."""
+
+    def _failed_send(self, net):
+        msg = Message(mtype=MessageType.READ_NACK, src=core_node(0),
+                      dst=core_node(1), payload={"line": 5})
+        with pytest.raises(KeyError):
+            net.send(msg)
+        return msg
+
+    def test_failed_send_records_nothing(self):
+        _, sim, net = make_net()
+        msg = self._failed_send(net)
+        assert msg.sent_at == -1           # never stamped
+        assert net.stats.total_messages == 0
+        assert net.stats.total_bytes == 0
+        assert not net._last_delivery      # no FIFO clamp entry
+        assert not net.link_utilization_snapshot()
+        assert sim.pending_events == 0     # no delivery scheduled
+
+    def test_failed_send_leaves_profiler_stack_balanced(self):
+        from repro.obs.profile import HostProfiler
+
+        _, sim, net = make_net()
+        prof = HostProfiler()
+        prof.start()
+        net.profiler = prof
+        self._failed_send(net)
+        assert prof._stack == []           # noc.transit never left open
+        assert "noc.transit" not in prof.scopes
+        # the network still works afterwards, with the scope balanced
+        got = []
+        net.register(core_node(1), got.append)
+        net.unicast(MessageType.READ_NACK, core_node(0), core_node(1), line=7)
+        sim.run()
+        assert len(got) == 1
+        assert prof._stack == []
+        assert prof.scopes["noc.transit"].count == 1

@@ -194,3 +194,64 @@ class TestAttachment:
         assert prof.stream is not None
         assert prof.stream.interval == 500
         assert make_profiler(config).stream is None
+
+
+class TestHostileScopeBalance:
+    """Raising hot paths must leave the profiler stack balanced.
+
+    Every profiled scope (sig.*, noc.transit, engine.dispatch) wraps its
+    body in try/finally; if one leaked on an exception, every later scope
+    would be mis-attributed to a phantom parent for the rest of the run."""
+
+    def _profiled_factory(self, **kw):
+        from repro.signatures.bulk_signature import SignatureFactory
+
+        prof = HostProfiler()
+        prof.start()
+        factory = SignatureFactory(total_bits=2048, n_banks=4, seed=2010, **kw)
+        factory.profiler = prof
+        return factory, prof
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_sig_ops_raising_keep_stack_balanced(self, backend):
+        from repro.signatures.bulk_signature import SignatureFactory
+        from repro.signatures.numpy_backend import numpy_available
+
+        if backend == "numpy" and not numpy_available():
+            pytest.skip("numpy not installed")
+        factory, prof = self._profiled_factory(backend=backend)
+        alien = SignatureFactory(total_bits=2048, n_banks=4, seed=999,
+                                 backend=backend)
+        alien.profiler = prof
+        a = factory.from_lines([1, 2, 3])
+        b = alien.from_lines([4])
+        with pytest.raises(ValueError):
+            a.intersects(b)
+        assert prof._stack == []
+        with pytest.raises(ValueError):
+            a.union_update(b)
+        assert prof._stack == []
+        # scopes still accumulate correctly after the hostile calls
+        a.insert(9)
+        assert a.contains(9)
+        assert prof._stack == []
+        assert prof.scopes["sig.insert"].count >= 1
+
+    def test_raising_callback_keeps_dispatch_scope_balanced(self):
+        from repro.engine.events import Simulator
+
+        sim = Simulator()
+        prof = HostProfiler()
+        prof.start()
+        sim.profiler = prof
+        fired = []
+        sim.schedule(0, lambda: fired.append("ok"))
+        sim.schedule(0, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        sim.schedule(1, lambda: fired.append("later"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert prof._stack == []
+        sim.run()  # the queue survives and the scope re-opens cleanly
+        assert fired == ["ok", "later"]
+        assert prof._stack == []
+        assert prof.scopes[ENGINE_DISPATCH].count == 3

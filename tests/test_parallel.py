@@ -94,7 +94,8 @@ class TestRunOrdered:
 
 
 def _strip_wall(records):
-    return {k: {f: v for f, v in rec.items() if f != "wall_seconds"}
+    wall_fields = ("wall_seconds", "wall_seconds_raw")
+    return {k: {f: v for f, v in rec.items() if f not in wall_fields}
             for k, rec in records.items()}
 
 

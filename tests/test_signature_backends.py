@@ -1,0 +1,189 @@
+"""Backend equivalence: the packed-int and numpy signature backends must
+be bit-for-bit interchangeable.
+
+The numpy backend (`repro.signatures.numpy_backend`) stores the same
+packed layout in little-endian uint64 words.  Everything observable —
+membership, intersection, union, bit counts, the canonical
+``packed_bits()`` view — must agree with the pure-python backend for any
+sequence of operations, or conflict detection would depend on which
+backend a machine happened to select.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.runner import Machine, run_app
+from repro.signatures.bulk_signature import (
+    BACKENDS,
+    BulkSignature,
+    SignatureFactory,
+    resolve_backend,
+)
+from repro.signatures.numpy_backend import numpy_available
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+lines_st = st.lists(st.integers(min_value=0, max_value=2**40),
+                    min_size=0, max_size=40)
+
+
+def _factories():
+    py = SignatureFactory(total_bits=2048, n_banks=4, seed=2010,
+                          backend="python")
+    np_ = SignatureFactory(total_bits=2048, n_banks=4, seed=2010,
+                           backend="numpy")
+    return py, np_
+
+
+class TestBackendResolution:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIG_BACKEND", raising=False)
+        assert resolve_backend(None) == "python"
+        assert resolve_backend("auto") == "python"
+
+    def test_env_var_fills_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIG_BACKEND", "numpy")
+        assert resolve_backend(None) == "numpy"
+        assert resolve_backend("auto") == "numpy"
+        # An explicit choice always beats the environment.
+        assert resolve_backend("python") == "python"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIG_BACKEND", raising=False)
+        with pytest.raises(ValueError, match="unknown signature backend"):
+            resolve_backend("fortran")
+        monkeypatch.setenv("REPRO_SIG_BACKEND", "fortran")
+        with pytest.raises(ValueError, match="unknown signature backend"):
+            resolve_backend(None)
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=4, signature_backend="fortran")
+        for name in BACKENDS + ("auto",):
+            assert SystemConfig(
+                n_cores=4, signature_backend=name).signature_backend == name
+
+    def test_machine_uses_configured_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIG_BACKEND", raising=False)
+        config = SystemConfig(n_cores=4, signature_backend="python")
+        machine = Machine(config, next_spec=lambda c: None)
+        assert machine.sig_factory.backend == "python"
+        assert type(machine.sig_factory.empty()) is BulkSignature
+
+    @needs_numpy
+    def test_machine_numpy_backend_signature_class(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIG_BACKEND", raising=False)
+        config = SystemConfig(n_cores=4, signature_backend="numpy")
+        machine = Machine(config, next_spec=lambda c: None)
+        assert machine.sig_factory.backend == "numpy"
+        assert type(machine.sig_factory.empty()).__name__ == "NumpyBulkSignature"
+
+    @needs_numpy
+    def test_numpy_requires_word_aligned_banks(self):
+        # 256 bits / 8 banks = 32 bits per bank: not a whole uint64 word.
+        with pytest.raises(ValueError, match="64"):
+            SignatureFactory(total_bits=256, n_banks=8, backend="numpy")
+
+
+@needs_numpy
+class TestBackendEquivalence:
+    @given(lines=lines_st, probes=st.lists(
+        st.integers(min_value=0, max_value=2**40), max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_member_bitcount_agree(self, lines, probes):
+        py_f, np_f = _factories()
+        a = py_f.empty()
+        b = np_f.empty()
+        for line in lines:
+            a.insert(line)
+            b.insert(line)
+        assert a.packed_bits() == b.packed_bits()
+        assert a.bit_count() == b.bit_count()
+        assert a.inserts == b.inserts
+        assert a.is_empty() == b.is_empty()
+        assert list(a.banks()) == list(b.banks())
+        for probe in lines + probes:
+            assert a.contains(probe) == b.contains(probe)
+
+    @given(lines=lines_st)
+    @settings(max_examples=40, deadline=None)
+    def test_insert_many_matches_bulk_path(self, lines):
+        py_f, np_f = _factories()
+        assert (py_f.from_lines(lines).packed_bits()
+                == np_f.from_lines(lines).packed_bits())
+
+    @given(xs=lines_st, ys=lines_st)
+    @settings(max_examples=40, deadline=None)
+    def test_intersect_union_agree(self, xs, ys):
+        py_f, np_f = _factories()
+        pa, pb = py_f.from_lines(xs), py_f.from_lines(ys)
+        na, nb = np_f.from_lines(xs), np_f.from_lines(ys)
+        assert pa.intersects(pb) == na.intersects(nb)
+        pu, nu = pa.union(pb), na.union(nb)
+        assert pu.packed_bits() == nu.packed_bits()
+        assert pu.inserts == nu.inserts
+        pa.union_update(pb)
+        na.union_update(nb)
+        assert pa.packed_bits() == na.packed_bits()
+        assert (pa.false_positive_probability()
+                == pytest.approx(na.false_positive_probability()))
+
+    @given(xs=lines_st, ys=lines_st)
+    @settings(max_examples=30, deadline=None)
+    def test_cross_backend_interop(self, xs, ys):
+        """A python signature and a numpy signature with equal hash params
+        compare directly: packed_bits() is the shared canonical view."""
+        py_f, np_f = _factories()
+        pa, nb = py_f.from_lines(xs), np_f.from_lines(ys)
+        na, pb = np_f.from_lines(xs), py_f.from_lines(ys)
+        assert pa.intersects(nb) == na.intersects(pb)
+        assert pa.union(nb).packed_bits() == na.union(pb).packed_bits()
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=2**40),
+                          min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_expand_clear_copy_agree(self, lines):
+        py_f, np_f = _factories()
+        a, b = py_f.from_lines(lines), np_f.from_lines(lines)
+        candidates = lines + [x + 1 for x in lines]
+        assert a.expand(candidates) == b.expand(candidates)
+        ca, cb = a.copy(), b.copy()
+        assert ca.packed_bits() == cb.packed_bits()
+        a.clear()
+        b.clear()
+        assert a.is_empty() and b.is_empty()
+        assert ca.packed_bits() == cb.packed_bits()  # copies unaffected
+
+
+class TestUnionCompatibility:
+    def test_union_rejects_incompatible_factories(self):
+        """Regression: union() used to skip the compatibility check that
+        union_update() and intersects() perform, silently interleaving
+        bits hashed under different seeds."""
+        f1 = SignatureFactory(total_bits=2048, n_banks=4, seed=2010)
+        f2 = SignatureFactory(total_bits=2048, n_banks=4, seed=2011)
+        with pytest.raises(ValueError, match="incompatible"):
+            f1.from_lines([1, 2]).union(f2.from_lines([3]))
+
+    @needs_numpy
+    def test_numpy_union_rejects_incompatible_factories(self):
+        f1 = SignatureFactory(total_bits=2048, n_banks=4, seed=2010,
+                              backend="numpy")
+        f2 = SignatureFactory(total_bits=2048, n_banks=4, seed=2011,
+                              backend="numpy")
+        with pytest.raises(ValueError, match="incompatible"):
+            f1.from_lines([1, 2]).union(f2.from_lines([3]))
+
+
+@needs_numpy
+class TestEndToEndParity:
+    @pytest.mark.parametrize("proto",
+                             [ProtocolKind.SCALABLEBULK, ProtocolKind.BULKSC])
+    def test_run_result_identical_across_backends(self, proto):
+        base = run_app("Radix", n_cores=4, protocol=proto,
+                       chunks_per_partition=2, signature_backend="python")
+        alt = run_app("Radix", n_cores=4, protocol=proto,
+                      chunks_per_partition=2, signature_backend="numpy")
+        assert alt == base
