@@ -12,6 +12,7 @@ trace      instrumented run: Perfetto/JSONL/CSV export + critical path
 bench      micro + macro performance benchmarks (repro.harness.bench)
 chaos      deterministic fault-injection campaigns (repro.faults)
 profile    host-time self-profiler: where the cycles/sec go (repro.obs.profile)
+store      persistent experiment service: result store, campaigns, dashboard
 """
 
 from __future__ import annotations
@@ -159,6 +160,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # delegate untouched so all of profile's own flags work
         from repro.obs import profile as profile_cli
         return profile_cli.main(argv[1:])
+    if argv and argv[0] == "store":
+        # delegate untouched so all of store's own flags work
+        from repro.store import cli as store_cli
+        return store_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -217,6 +222,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                  "(see python -m repro chaos -h)")
     sub.add_parser("profile", help="host-time self-profiler "
                                    "(see python -m repro profile -h)")
+    sub.add_parser("store", help="persistent experiment service "
+                                 "(see python -m repro store -h)")
 
     args = parser.parse_args(argv)
     return args.func(args)

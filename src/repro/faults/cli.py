@@ -107,6 +107,28 @@ def _artifact_path(directory: str, scenario: str, plan_name: str) -> str:
     return os.path.join(directory, f"{scenario}-{plan_name}.json")
 
 
+def _chaos_record(payload: Dict[str, Any], r: Dict[str, Any],
+                  git_rev: str, source: str):
+    """One campaign verdict -> a first-class ``chaos`` store row."""
+    from repro.store.schema import (KIND_CHAOS, Record, STATUS_FAILED,
+                                    STATUS_OK)
+    artifact = r.get("artifact")
+    violations = artifact["violations"] if artifact else []
+    return Record(
+        kind=KIND_CHAOS, cell_key=f"{r['scenario']}/{r['plan_name']}",
+        series=f"{r['scenario']}/{r['plan_name']}",
+        seed=int(payload["plan"].get("seed", 0) or 0), git_rev=git_rev,
+        status=STATUS_OK if r["ok"] else STATUS_FAILED,
+        metrics={"cycles": r.get("cycles", 0),
+                 "commits": r.get("commits", 0),
+                 "violations": len(violations),
+                 "watchdog_fires": r.get("watchdog_fires", 0),
+                 "n_faults": r.get("n_faults", 0)},
+        payload=artifact if artifact is not None else
+        {k: v for k, v in r.items() if k != "artifact"},
+        error="/".join(r.get("codes", ())), source=source)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.harness.parallel import run_ordered
     if args.scenario is not None:
@@ -126,8 +148,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     } for scenario, plan in campaign]
     failures: List[str] = []
 
-    def show(_i: int, _payload: Dict[str, Any],
+    store = None
+    git_rev = ""
+    if args.store is not None:
+        from repro.provenance import git_rev as current_rev
+        from repro.store.db import ResultStore
+        store = ResultStore(args.store)
+        git_rev = current_rev() or ""
+
+    def show(_i: int, payload: Dict[str, Any],
              r: Dict[str, Any]) -> None:
+        if store is not None:
+            # one transaction per verdict: the campaign checkpoints like
+            # the sweep campaign runner does
+            store.put(_chaos_record(payload, r, git_rev,
+                                    source=f"chaos:seed{args.seed}"))
         if r["ok"]:
             print(f"clean   {r['plan_name']} on {r['scenario']:8s} "
                   f"({r['n_faults']} faults, {r['commits']} commits, "
@@ -154,7 +189,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     print(f"chaos campaign: {args.plans} plans, seed {args.seed}, "
           f"scenarios {', '.join(names)}")
-    run_ordered(chaos_worker, payloads, jobs=args.jobs, on_result=show)
+    try:
+        run_ordered(chaos_worker, payloads, jobs=args.jobs, on_result=show)
+    finally:
+        if store is not None:
+            store.close()
+            print(f"stored {len(payloads)} chaos verdicts in {args.store}")
     if failures:
         print(f"{len(failures)} plan(s) failed: {', '.join(failures)}")
         return 1
@@ -188,6 +228,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="override the per-run event budget")
     parser.add_argument("--artifacts", default=None, metavar="DIR",
                         help="write shrunk failure artifacts here")
+    parser.add_argument("--store", default=None, metavar="DB",
+                        help="also record every plan verdict in this "
+                             "result store (python -m repro store)")
     parser.add_argument("--no-minimize", dest="minimize",
                         action="store_false",
                         help="keep failing plans as generated instead of "

@@ -445,6 +445,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar=("BASELINE", "NEW"),
                         help="compare two documents (calibration-"
                              "normalized) and exit 1 on regression")
+    parser.add_argument("--store", type=Path, default=None, metavar="DB",
+                        help="also record the collected document in this "
+                             "result store (python -m repro store)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="regression threshold for --check-regression "
                              "(default 20%%)")
@@ -497,6 +500,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     print(f"wrote {out} (calibration "
           f"{doc['calibration_ops_per_sec']:.0f} ops/s)")
+    if args.store is not None:
+        from repro.store.db import ResultStore
+        from repro.store.ingest import ingest_bench
+        with ResultStore(args.store) as store:
+            stored = ingest_bench(store, doc, source=str(out))
+        print(f"stored {len(stored)} bench records in {args.store}")
     return 0
 
 

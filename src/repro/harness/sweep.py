@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -32,6 +33,7 @@ from repro.harness.runner import SimulationRunner
 from repro.harness.tables import TRAFFIC_ORDER, normalize_traffic
 from repro.obs.bus import InstrumentationBus
 from repro.obs.critical_path import analyze_commit_paths
+from repro.provenance import config_hash
 from repro.workloads.profiles import PARSEC_APPS, SPLASH2_APPS
 
 PROTOCOLS = (ProtocolKind.SCALABLEBULK, ProtocolKind.TCC, ProtocolKind.SEQ,
@@ -42,20 +44,23 @@ def run_one(app: str, n_cores: int, protocol: ProtocolKind,
             chunks: int, active_cores: Optional[int] = None,
             n_partitions: Optional[int] = None,
             bus: Optional[InstrumentationBus] = None,
-            profile: bool = False) -> dict:
+            profile: bool = False, seed: Optional[int] = None) -> dict:
     """One simulation -> a JSON-serializable record.
 
     ``n_partitions`` fixes the total work across machine sizes (strong
     scaling): every run of one application must use the same partition
     count or speedups are meaningless.  ``bus`` optionally instruments
     the run (used by ``--critical-paths``); ``profile`` attaches the
-    host-time self-profiler and embeds its attribution report.
+    host-time self-profiler and embeds its attribution report.  ``seed``
+    overrides the config's reproducibility seed (campaign matrices sweep
+    it; ``None`` keeps the Table 2 default).
     """
     config = SystemConfig(n_cores=n_cores, protocol=protocol)
+    if seed is not None:
+        config = config.with_(seed=seed)
     runner = SimulationRunner(app, config, active_cores=active_cores,
                               chunks_per_partition=chunks,
                               n_partitions=n_partitions)
-    from repro.provenance import config_hash
     profiler = None
     if profile:
         from repro.obs.profile import HostProfiler
@@ -67,6 +72,7 @@ def run_one(app: str, n_cores: int, protocol: ProtocolKind,
     stats = result.machine.protocol.stats
     record = {
         "config_hash": config_hash(config),
+        "seed": config.seed,
         "app": app,
         "protocol": protocol.value,
         "n_cores": n_cores,
@@ -102,6 +108,22 @@ def run_one(app: str, n_cores: int, protocol: ProtocolKind,
 
 def key_of(app: str, n_cores: int, protocol: str, active: int) -> str:
     return f"{app}/{n_cores}/{protocol}/{active}"
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Durable single-file checkpoint: temp file + ``os.replace``.
+
+    The temp file lives in the target's own directory so the final
+    rename never crosses a filesystem boundary; a crash between write
+    and replace leaves the previous file untouched.
+    """
+    tmp = path.parent / f".{path.name}.tmp{os.getpid()}"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 #: One matrix cell, picklable: (app, n_cores, protocol value, chunks,
@@ -163,13 +185,17 @@ def collect(apps: Sequence[str], core_counts: Sequence[int], chunks: int,
         cpaths = json.loads(critical_paths_path.read_text())
 
     def save() -> None:
+        # Atomic: the cache IS the resumability mechanism, so a SIGINT
+        # mid-write must leave the previous checkpoint intact instead of
+        # truncated JSON.  Write a sibling temp file, then os.replace()
+        # (atomic within one filesystem).
         if cache_path:
             cache_path.parent.mkdir(parents=True, exist_ok=True)
-            cache_path.write_text(json.dumps(records))
+            atomic_write_text(cache_path, json.dumps(records))
         if critical_paths_path and cpaths:
             critical_paths_path.parent.mkdir(parents=True, exist_ok=True)
-            critical_paths_path.write_text(
-                json.dumps(cpaths, indent=2, sort_keys=True))
+            atomic_write_text(critical_paths_path,
+                              json.dumps(cpaths, indent=2, sort_keys=True))
 
     def make_bus() -> Optional[InstrumentationBus]:
         if critical_paths_path is None:
@@ -469,6 +495,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="attach the host-time self-profiler to every "
                              "fresh run and embed its attribution report "
                              "in each cached record")
+    parser.add_argument("--store", type=Path, default=None, metavar="DB",
+                        help="additionally write every sweep record "
+                             "through to a repro.store SQLite result "
+                             "store (see docs/experiments.md)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -489,6 +519,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"raw records in {args.json}")
     if cp_path is not None:
         print(f"critical-path summaries in {cp_path}")
+    if args.store is not None:
+        from repro.store.db import ResultStore
+        from repro.store.ingest import ingest_sweep
+        with ResultStore(args.store) as store:
+            stored = ingest_sweep(store, records, source=str(args.json))
+        print(f"stored {len(stored)} sweep records in {args.store}")
     return 0
 
 

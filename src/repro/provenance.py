@@ -28,22 +28,36 @@ from typing import Any, Optional
 from repro.config import SystemConfig
 
 
+#: per-process memo for :func:`git_rev`, keyed by the resolved cwd.  At
+#: campaign scale every sweep cell stamps provenance; without the memo
+#: each cell would spawn its own ``git rev-parse`` subprocess.
+_GIT_REV_CACHE: dict = {}
+
+
 def git_rev(cwd: Optional[Path] = None) -> Optional[str]:
     """Short git revision of ``cwd`` (default: this package's checkout).
 
     Returns ``None`` when git is unavailable or the tree is not a
     repository — provenance is best-effort and must never fail a run.
+    The answer is memoized per process (the working tree's HEAD cannot
+    move under a run we are stamping), so only the first call pays the
+    subprocess.
     """
     if cwd is None:
         cwd = Path(__file__).resolve().parent
+    if cwd in _GIT_REV_CACHE:
+        return _GIT_REV_CACHE[cwd]
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=cwd, capture_output=True, text=True, timeout=10, check=False)
     except (OSError, subprocess.SubprocessError):
+        _GIT_REV_CACHE[cwd] = None
         return None
     rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else None
+    result = rev if out.returncode == 0 and rev else None
+    _GIT_REV_CACHE[cwd] = result
+    return result
 
 
 def _jsonable(value: Any) -> Any:

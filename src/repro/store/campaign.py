@@ -1,0 +1,285 @@
+"""Resumable campaign runner: a declarative run matrix over the store.
+
+A *campaign spec* is a small JSON document describing a run matrix::
+
+    {
+      "name": "scaling-study",
+      "apps": ["Radix", "LU"],
+      "cores": [8, 16],
+      "protocols": ["ScalableBulk", "TCC"],   // optional: all four
+      "chunks": 2,                            // optional: 2
+      "seeds": [2010, 7],                     // optional: config default
+      "baseline1p": true                      // optional: true
+    }
+
+Expansion mirrors the sweep matrix exactly — per app a single-processor
+ScalableBulk baseline on the largest machine, then every (cores,
+protocol) cell with ``n_partitions`` pinned to the largest machine — so
+a campaign's stored records are identical to the equivalent serial
+sweep's modulo wall-clock fields.
+
+The runner is a *service loop* over that matrix:
+
+* **dedupe** — cells whose cache key ``(kind, config_hash, seed,
+  git_rev, cell_key)`` is already stored are skipped (``ignore_rev``
+  widens the match to any revision);
+* **fan-out** — pending cells run over
+  :func:`repro.harness.parallel.run_ordered` worker processes;
+* **checkpoint** — every completed cell commits in its own transaction,
+  so SIGINT/SIGKILL mid-campaign loses at most the in-flight cell and a
+  rerun resumes with zero completed cells re-executed;
+* **failure rows** — a cell that raises is recorded as a first-class
+  ``status='failed'`` row carrying the exception and traceback, and the
+  campaign keeps going.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.harness.sweep import key_of
+from repro.provenance import config_hash
+from repro.store.db import ResultStore, StoreError
+from repro.store.ingest import sweep_metrics
+from repro.store.schema import (KIND_SWEEP, Record, STATUS_FAILED,
+                                STATUS_OK)
+
+PathLike = Union[str, Path]
+
+PROTOCOL_NAMES = tuple(p.value for p in ProtocolKind)
+_SPEC_KEYS = frozenset({"name", "apps", "cores", "protocols", "chunks",
+                        "seeds", "baseline1p"})
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative run matrix (the JSON document, validated)."""
+
+    name: str
+    apps: Tuple[str, ...]
+    cores: Tuple[int, ...]
+    protocols: Tuple[str, ...] = PROTOCOL_NAMES
+    chunks: int = 2
+    seeds: Tuple[Optional[int], ...] = (None,)
+    baseline1p: bool = True
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "CampaignSpec":
+        unknown = sorted(set(doc) - _SPEC_KEYS)
+        if unknown:
+            raise StoreError(
+                f"unknown campaign spec key(s): {', '.join(unknown)} "
+                f"(allowed: {', '.join(sorted(_SPEC_KEYS))})")
+        for required in ("name", "apps", "cores"):
+            if required not in doc:
+                raise StoreError(f"campaign spec needs {required!r}")
+        protocols = tuple(doc.get("protocols", PROTOCOL_NAMES))
+        bad = [p for p in protocols if p not in PROTOCOL_NAMES]
+        if bad:
+            raise StoreError(
+                f"unknown protocol(s) {', '.join(bad)} "
+                f"(choices: {', '.join(PROTOCOL_NAMES)})")
+        seeds = doc.get("seeds")
+        return cls(name=str(doc["name"]),
+                   apps=tuple(str(a) for a in doc["apps"]),
+                   cores=tuple(int(n) for n in doc["cores"]),
+                   protocols=protocols,
+                   chunks=int(doc.get("chunks", 2)),
+                   seeds=tuple(int(s) for s in seeds) if seeds else (None,),
+                   baseline1p=bool(doc.get("baseline1p", True)))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignSpec":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "apps": list(self.apps),
+                "cores": list(self.cores), "protocols": list(self.protocols),
+                "chunks": self.chunks,
+                "seeds": [s for s in self.seeds if s is not None] or None,
+                "baseline1p": self.baseline1p}
+
+
+#: The CI smoke matrix: 2 apps x 1 core count x all four protocols.
+QUICK_SPEC = CampaignSpec(name="quick", apps=("Radix", "LU"), cores=(8,),
+                          chunks=1)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One expanded matrix cell, fully determined and picklable."""
+
+    app: str
+    n_cores: int
+    protocol: str
+    chunks: int
+    active_cores: Optional[int]
+    n_partitions: int
+    seed: Optional[int]
+
+    @property
+    def sweep_key(self) -> str:
+        """The serial sweep's key for this cell (the row's ``series``)."""
+        active = self.active_cores if self.active_cores is not None \
+            else self.n_cores
+        proto = "baseline1p" if self.active_cores == 1 else self.protocol
+        return key_of(self.app, self.n_cores, proto, active)
+
+    @property
+    def cell_key(self) -> str:
+        """The store cache key's cell discriminator.
+
+        Extends the sweep key with the chunk count and seed so two
+        campaigns over the same machine at different workload sizes do
+        not collide.
+        """
+        seed = "default" if self.seed is None else str(self.seed)
+        return f"{self.sweep_key}/c{self.chunks}/s{seed}"
+
+    def config(self) -> SystemConfig:
+        config = SystemConfig(n_cores=self.n_cores,
+                              protocol=ProtocolKind(self.protocol))
+        if self.seed is not None:
+            config = config.with_(seed=self.seed)
+        return config
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"app": self.app, "n_cores": self.n_cores,
+                "protocol": self.protocol, "chunks": self.chunks,
+                "active_cores": self.active_cores,
+                "n_partitions": self.n_partitions, "seed": self.seed}
+
+
+def expand(spec: CampaignSpec) -> List[CampaignCell]:
+    """The spec's full cell list in canonical (serial sweep) order."""
+    big = max(spec.cores)
+    cells: List[CampaignCell] = []
+    for seed in spec.seeds:
+        for app in spec.apps:
+            if spec.baseline1p:
+                cells.append(CampaignCell(
+                    app=app, n_cores=big,
+                    protocol=ProtocolKind.SCALABLEBULK.value,
+                    chunks=spec.chunks, active_cores=1, n_partitions=big,
+                    seed=seed))
+            for n in spec.cores:
+                for proto in spec.protocols:
+                    cells.append(CampaignCell(
+                        app=app, n_cores=n, protocol=proto,
+                        chunks=spec.chunks, active_cores=None,
+                        n_partitions=big, seed=seed))
+    return cells
+
+
+def _campaign_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: one cell -> ok record or failure row data.
+
+    Exceptions are *data* here — a failing cell must become a stored
+    failure row, not abort the surviving campaign (``run_ordered``
+    re-raises worker exceptions).
+    """
+    from repro.harness.sweep import run_one
+    try:
+        record = run_one(payload["app"], payload["n_cores"],
+                         ProtocolKind(payload["protocol"]),
+                         chunks=payload["chunks"],
+                         active_cores=payload["active_cores"],
+                         n_partitions=payload["n_partitions"],
+                         seed=payload["seed"])
+        return {"status": STATUS_OK, "record": record}
+    except Exception as err:  # noqa: BLE001 - failures are first-class rows
+        return {"status": STATUS_FAILED, "error": repr(err),
+                "traceback": traceback_mod.format_exc()}
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign invocation did (for logs, tests and exit codes)."""
+
+    spec: CampaignSpec
+    git_rev: str
+    total: int = 0
+    ran: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"campaign {self.spec.name}: total={self.total} "
+                f"ran={len(self.ran)} skipped={len(self.skipped)} "
+                f"failed={len(self.failed)}")
+
+
+def run_campaign(spec: CampaignSpec, store: ResultStore, *,
+                 jobs: int = 1, log=print, rerun_failed: bool = False,
+                 ignore_rev: bool = False) -> CampaignReport:
+    """Expand, dedupe, fan out, checkpoint — one campaign pass.
+
+    Safe to invoke repeatedly: completed cells are never re-run (the
+    resume contract), failed cells re-run only with ``rerun_failed``.
+    """
+    from repro.harness.parallel import run_ordered
+    from repro.provenance import git_rev as current_rev
+
+    rev = current_rev() or ""
+    report = CampaignReport(spec=spec, git_rev=rev)
+    cells = expand(spec)
+    report.total = len(cells)
+
+    pending: List[CampaignCell] = []
+    for cell in cells:
+        hash_ = config_hash(cell.config())
+        seed = cell.config().seed
+        status = store.status_of(KIND_SWEEP, hash_, seed,
+                                 None if ignore_rev else rev, cell.cell_key)
+        if status == STATUS_OK or (status == STATUS_FAILED
+                                   and not rerun_failed):
+            report.skipped.append(cell.cell_key)
+        else:
+            pending.append(cell)
+    log(f"campaign {spec.name}: {len(cells)} cells, "
+        f"{len(report.skipped)} cached, {len(pending)} to run "
+        f"(rev {rev or '<none>'}, jobs={jobs})")
+
+    def checkpoint(i: int, _payload: Dict[str, Any],
+                   result: Dict[str, Any]) -> None:
+        cell = pending[i]
+        config = cell.config()
+        if result["status"] == STATUS_OK:
+            rec = result["record"]
+            row = Record(kind=KIND_SWEEP, cell_key=cell.cell_key,
+                         series=cell.sweep_key,
+                         config_hash=str(rec.get("config_hash", "")),
+                         seed=config.seed, git_rev=rev, app=cell.app,
+                         protocol=cell.protocol, n_cores=cell.n_cores,
+                         metrics=sweep_metrics(rec), payload=rec,
+                         source=f"campaign:{spec.name}")
+            report.ran.append(cell.cell_key)
+            note = f"{rec['total_cycles']} cycles ({rec['wall_seconds']}s)"
+        else:
+            row = Record(kind=KIND_SWEEP, cell_key=cell.cell_key,
+                         series=cell.sweep_key,
+                         config_hash=config_hash(config), seed=config.seed,
+                         git_rev=rev, app=cell.app, protocol=cell.protocol,
+                         n_cores=cell.n_cores, status=STATUS_FAILED,
+                         payload=cell.to_payload(),
+                         error=result["error"],
+                         traceback=result["traceback"],
+                         source=f"campaign:{spec.name}")
+            report.failed.append(cell.cell_key)
+            note = f"FAILED: {result['error']}"
+        store.put(row)  # one transaction: the crash-safe checkpoint
+        log(f"[{i + 1}/{len(pending)}] {cell.cell_key}: {note}")
+
+    run_ordered(_campaign_worker, [c.to_payload() for c in pending],
+                jobs=jobs, on_result=checkpoint)
+    log(report.summary())
+    return report
+
+
+__all__ = ["CampaignCell", "CampaignReport", "CampaignSpec", "QUICK_SPEC",
+           "expand", "run_campaign"]

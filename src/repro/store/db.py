@@ -1,0 +1,204 @@
+"""SQLite-backed result store with transactional, crash-safe writes.
+
+:class:`ResultStore` is the one place result rows enter or leave disk.
+Design points:
+
+* **Schema versioning.**  A fresh database is stamped
+  ``meta.schema = repro-store-v1``; opening a store written by a
+  different schema raises :class:`StoreSchemaError` instead of silently
+  misreading rows.
+* **Transactional checkpoints.**  Every :meth:`put` is its own
+  ``BEGIN IMMEDIATE … COMMIT``, so a SIGKILL between cells loses at most
+  the one in-flight row and never corrupts the file — the property the
+  campaign runner's resume test asserts with ``PRAGMA integrity_check``.
+* **Upsert by cache key.**  Rows are ``INSERT OR REPLACE``\\ d on
+  ``(kind, config_hash, seed, git_rev, cell_key)``: re-ingesting a
+  document is idempotent, while new revisions accumulate as new rows.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.store.schema import DDL, ROW_COLUMNS, Record, SCHEMA
+
+PathLike = Union[str, Path]
+
+
+class StoreError(RuntimeError):
+    """Base class for result-store failures."""
+
+
+class StoreSchemaError(StoreError):
+    """The on-disk database was written by an incompatible schema."""
+
+
+def _now() -> str:
+    """Wall-clock ingest stamp (provenance only, never load-bearing)."""
+    return datetime.datetime.now(  # repro: allow SB304
+        datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+class ResultStore:
+    """One SQLite result database (creating it on first open)."""
+
+    def __init__(self, path: PathLike, *, create: bool = True) -> None:
+        self.path = Path(path)
+        if not create and not self.path.exists():
+            raise StoreError(f"result store {self.path} does not exist")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        # isolation_level=None: we manage transactions explicitly so a
+        # put() is exactly one BEGIN IMMEDIATE … COMMIT on disk.
+        self._conn = sqlite3.connect(str(self.path), isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        if fresh:
+            self._create()
+        self._check_schema()
+
+    # -- lifecycle ------------------------------------------------------
+    def _create(self) -> None:
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            for stmt in DDL:
+                cur.execute(stmt)
+            cur.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema", SCHEMA))
+            cur.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("created_at", _now()))
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def _check_schema(self) -> None:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema'").fetchone()
+        except sqlite3.DatabaseError as err:
+            raise StoreSchemaError(
+                f"{self.path} is not a repro result store: {err}") from err
+        if row is None or row[0] != SCHEMA:
+            found = row[0] if row else "<missing>"
+            raise StoreSchemaError(
+                f"{self.path} carries schema {found!r}; this build reads "
+                f"{SCHEMA!r}")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writes ---------------------------------------------------------
+    def put(self, record: Record) -> None:
+        """Upsert one row in its own transaction (crash-safe checkpoint)."""
+        self.put_many([record])
+
+    def put_many(self, records: Iterable[Record]) -> int:
+        """Upsert a batch atomically; returns the number of rows written."""
+        rows = []
+        for record in records:
+            if not record.created_at:
+                record.created_at = _now()
+            rows.append(record.to_row())
+        if not rows:
+            return 0
+        cols = ", ".join(ROW_COLUMNS)
+        marks = ", ".join("?" * len(ROW_COLUMNS))
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.executemany(
+                f"INSERT OR REPLACE INTO records ({cols}) VALUES ({marks})",
+                rows)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return len(rows)
+
+    # -- reads ----------------------------------------------------------
+    def status_of(self, kind: str, config_hash: str, seed: int,
+                  git_rev: Optional[str], cell_key: str) -> Optional[str]:
+        """The stored status of a cache key, or ``None`` when absent.
+
+        ``git_rev=None`` matches any revision (the campaign runner's
+        ``--ignore-rev`` dedupe).
+        """
+        sql = ("SELECT status FROM records WHERE kind = ? AND "
+               "config_hash = ? AND seed = ? AND cell_key = ?")
+        args: List[object] = [kind, config_hash, int(seed), cell_key]
+        if git_rev is not None:
+            sql += " AND git_rev = ?"
+            args.append(git_rev)
+        sql += " ORDER BY id DESC LIMIT 1"
+        row = self._conn.execute(sql, args).fetchone()
+        return row[0] if row is not None else None
+
+    def query(self, kind: Optional[str] = None, *,
+              app: Optional[str] = None,
+              protocol: Optional[str] = None,
+              n_cores: Optional[int] = None,
+              git_rev: Optional[str] = None,
+              series: Optional[str] = None,
+              cell_key: Optional[str] = None,
+              status: Optional[str] = None,
+              source: Optional[str] = None,
+              limit: Optional[int] = None) -> List[Record]:
+        """Filtered rows in insertion (rowid) order."""
+        clauses, args = [], []
+        for column, value in (("kind", kind), ("app", app),
+                              ("protocol", protocol), ("n_cores", n_cores),
+                              ("git_rev", git_rev), ("series", series),
+                              ("cell_key", cell_key), ("status", status),
+                              ("source", source)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                args.append(value)
+        sql = "SELECT id, " + ", ".join(ROW_COLUMNS) + " FROM records"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id"
+        if limit is not None:
+            sql += " LIMIT ?"
+            args.append(int(limit))
+        return [Record.from_row(row)
+                for row in self._conn.execute(sql, args)]
+
+    def revisions(self, kind: Optional[str] = None) -> List[str]:
+        """Distinct ``git_rev`` values in first-seen order."""
+        sql = "SELECT git_rev, MIN(id) AS first FROM records"
+        args: List[object] = []
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            args.append(kind)
+        sql += " GROUP BY git_rev ORDER BY first"
+        return [row[0] for row in self._conn.execute(sql, args)]
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per kind."""
+        return {row[0]: row[1] for row in self._conn.execute(
+            "SELECT kind, COUNT(*) FROM records GROUP BY kind "
+            "ORDER BY kind")}
+
+    def integrity_check(self) -> str:
+        """``PRAGMA integrity_check`` — 'ok' on a healthy database."""
+        row = self._conn.execute("PRAGMA integrity_check").fetchone()
+        return str(row[0]) if row else "no result"
+
+    def meta(self) -> Dict[str, str]:
+        return {k: v for k, v in
+                self._conn.execute("SELECT key, value FROM meta")}
+
+
+__all__ = ["ResultStore", "StoreError", "StoreSchemaError"]

@@ -1,0 +1,268 @@
+"""Ingestion adapters: existing result documents -> store rows.
+
+Adapters exist for every artifact the harness already writes:
+
+* ``BENCH_*.json`` (``repro-bench-v1``) — one ``bench_meta`` header row
+  plus one row per micro measurement and per macro cell;
+* ``results/sweep.json`` sweep caches — one ``sweep`` row per matrix cell;
+* chaos failure artifacts (``repro chaos --artifacts``) — one ``chaos``
+  row per artifact;
+* host-profiler reports (``repro profile --json``) — one ``profile`` row.
+
+Every adapter stores the complete original record in ``payload``, so the
+matching ``export_*`` function reconstructs the source document exactly
+(asserted byte-identical, modulo key order, by the round-trip tests).
+Ingest is idempotent: re-reading the same file replaces the same rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.store.db import ResultStore, StoreError
+from repro.store.schema import (KIND_BENCH_MACRO, KIND_BENCH_META,
+                                KIND_BENCH_MICRO, KIND_CHAOS, KIND_PROFILE,
+                                KIND_SWEEP, Record, STATUS_FAILED, STATUS_OK)
+
+PathLike = Union[str, Path]
+
+
+def _doc_id(doc: Any) -> str:
+    """Content fingerprint that namespaces one document's cell rows.
+
+    Two benchmark documents from the same day and revision (e.g. CI's
+    profiled + unprofiled captures) must not collide, so cell keys are
+    prefixed with a hash of the full document.
+    """
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+
+
+# ----------------------------------------------------------------------
+# Benchmark documents (repro-bench-v1)
+# ----------------------------------------------------------------------
+def ingest_bench(store: ResultStore, doc: Dict[str, Any],
+                 source: str = "") -> List[Record]:
+    """One ``repro-bench-v1`` document -> meta + micro + macro rows."""
+    rev = doc.get("git_rev") or ""
+    date = str(doc.get("date", ""))
+    cal = doc.get("calibration_ops_per_sec")
+    doc_id = _doc_id(doc)
+    prefix = f"{date}.{doc_id}"
+    records: List[Record] = []
+
+    header = {k: v for k, v in doc.items() if k not in ("micro", "macro")}
+    records.append(Record(
+        kind=KIND_BENCH_META, cell_key=prefix, series="bench_doc",
+        git_rev=rev, payload=header, source=source,
+        metrics={"calibration_ops_per_sec": cal}
+        if isinstance(cal, (int, float)) else {}))
+
+    for name, rec in doc.get("micro", {}).items():
+        metrics: Dict[str, Any] = {}
+        for field in ("ops", "seconds", "ops_per_sec"):
+            if isinstance(rec.get(field), (int, float)):
+                metrics[field] = rec[field]
+        if isinstance(cal, (int, float)):
+            metrics["calibration"] = cal
+        records.append(Record(
+            kind=KIND_BENCH_MICRO, cell_key=f"{prefix}/{name}",
+            series=name, git_rev=rev, metrics=metrics, payload=rec,
+            source=source))
+
+    for key, rec in doc.get("macro", {}).items():
+        metrics = {}
+        for field in ("cycles_per_sec", "total_cycles", "wall_seconds",
+                      "chunks_committed"):
+            if isinstance(rec.get(field), (int, float)):
+                metrics[field] = rec[field]
+        if isinstance(cal, (int, float)):
+            metrics["calibration"] = cal
+        records.append(Record(
+            kind=KIND_BENCH_MACRO, cell_key=f"{prefix}/{key}", series=key,
+            config_hash=str(rec.get("config_hash", "")), git_rev=rev,
+            app=str(rec.get("app", "")),
+            protocol=str(rec.get("protocol", "")),
+            n_cores=int(rec.get("n_cores", 0)),
+            metrics=metrics, payload=rec, source=source))
+
+    store.put_many(records)
+    return records
+
+
+def export_bench(store: ResultStore,
+                 doc_prefix: Optional[str] = None) -> Dict[str, Any]:
+    """Reassemble one ingested benchmark document from its rows.
+
+    ``doc_prefix`` selects the document (the ``date.docid`` cell-key
+    prefix of its ``bench_meta`` row); by default the most recently
+    ingested one is exported.
+    """
+    metas = store.query(KIND_BENCH_META)
+    if doc_prefix is not None:
+        metas = [m for m in metas if m.cell_key == doc_prefix]
+    if not metas:
+        raise StoreError("no benchmark document found in the store")
+    meta = metas[-1]
+    doc = dict(meta.payload)
+    prefix = meta.cell_key + "/"
+    doc["micro"] = {
+        r.cell_key[len(prefix):]: r.payload
+        for r in store.query(KIND_BENCH_MICRO)
+        if r.cell_key.startswith(prefix)}
+    doc["macro"] = {
+        r.cell_key[len(prefix):]: r.payload
+        for r in store.query(KIND_BENCH_MACRO)
+        if r.cell_key.startswith(prefix)}
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Sweep caches
+# ----------------------------------------------------------------------
+def sweep_metrics(rec: Dict[str, Any]) -> Dict[str, Any]:
+    """The scalar metrics a sweep cell exposes to queries and trends."""
+    wall = rec.get("wall_seconds_raw", rec.get("wall_seconds", 0)) or 0
+    chunks = rec.get("chunks_committed", 0) or 0
+    squashes = (rec.get("squashes_conflict", 0) or 0) \
+        + (rec.get("squashes_alias", 0) or 0)
+    metrics: Dict[str, Any] = {}
+    for field in ("total_cycles", "mean_commit_latency", "mean_dirs",
+                  "chunks_committed", "mean_queue", "bottleneck_ratio"):
+        if isinstance(rec.get(field), (int, float)):
+            metrics[field] = rec[field]
+    if wall > 0 and isinstance(rec.get("total_cycles"), (int, float)):
+        metrics["cycles_per_sec"] = rec["total_cycles"] / wall
+    metrics["squash_rate"] = squashes / chunks if chunks else 0.0
+    return metrics
+
+
+def ingest_sweep(store: ResultStore, records: Dict[str, Dict[str, Any]],
+                 source: str = "",
+                 git_rev: Optional[str] = None) -> List[Record]:
+    """A sweep cache (``{cell key: record}``) -> one ``sweep`` row each.
+
+    ``git_rev`` stamps rows whose records predate per-record provenance;
+    it defaults to the current checkout's revision (best effort).
+    """
+    if git_rev is None:
+        from repro.provenance import git_rev as current_rev
+        git_rev = current_rev() or ""
+    out: List[Record] = []
+    for key, rec in records.items():
+        parts = key.split("/")
+        app = parts[0] if parts else ""
+        n_cores = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 0
+        protocol = parts[2] if len(parts) > 2 else ""
+        out.append(Record(
+            kind=KIND_SWEEP, cell_key=key, series=key,
+            config_hash=str(rec.get("config_hash", "")),
+            seed=int(rec.get("seed", 0)), git_rev=git_rev,
+            app=app, protocol=str(rec.get("protocol", protocol)),
+            n_cores=n_cores, metrics=sweep_metrics(rec), payload=rec,
+            source=source))
+    store.put_many(out)
+    return out
+
+
+def export_sweep(store: ResultStore, git_rev: Optional[str] = None,
+                 source: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """Reassemble a sweep cache from ``sweep`` rows (lossless)."""
+    rows = store.query(KIND_SWEEP, git_rev=git_rev, source=source)
+    return {r.cell_key: r.payload for r in rows}
+
+
+# ----------------------------------------------------------------------
+# Chaos artifacts
+# ----------------------------------------------------------------------
+def ingest_chaos_artifact(store: ResultStore, doc: Dict[str, Any],
+                          source: str = "") -> List[Record]:
+    """One replayable chaos failure artifact -> one ``chaos`` row."""
+    scenario = doc.get("scenario", {}) or {}
+    plan = doc.get("plan", {}) or {}
+    stats = doc.get("stats", {}) or {}
+    violations = doc.get("violations", []) or []
+    name = f"{scenario.get('name', 'scenario')}/{plan.get('name', 'plan')}"
+    from repro.provenance import git_rev as current_rev
+    record = Record(
+        kind=KIND_CHAOS, cell_key=name, series=name,
+        seed=int(plan.get("seed", 0)), git_rev=current_rev() or "",
+        protocol=str(scenario.get("protocol", "")),
+        n_cores=int(scenario.get("n_cores", 0) or 0),
+        status=STATUS_FAILED if violations else STATUS_OK,
+        metrics={"cycles": stats.get("cycles", 0),
+                 "commits": stats.get("commits", 0),
+                 "violations": len(violations),
+                 "n_faults": len(plan.get("faults", ()) or ())},
+        payload=doc, source=source,
+        error="/".join(sorted({str(v.get("code", "?"))
+                               for v in violations})))
+    store.put(record)
+    return [record]
+
+
+# ----------------------------------------------------------------------
+# Profile reports
+# ----------------------------------------------------------------------
+def ingest_profile(store: ResultStore, doc: Dict[str, Any],
+                   source: str = "") -> List[Record]:
+    """One host-profiler attribution report -> one ``profile`` row."""
+    shares = doc.get("shares", {}) or {}
+    metrics: Dict[str, Any] = {
+        f"share/{name}": value for name, value in shares.items()
+        if isinstance(value, (int, float))}
+    if isinstance(doc.get("wall_ns"), (int, float)):
+        metrics["wall_ns"] = doc["wall_ns"]
+    record = Record(
+        kind=KIND_PROFILE, cell_key=f"profile/{_doc_id(doc)}",
+        series="profile", config_hash=str(doc.get("config_hash", "")),
+        git_rev=doc.get("git_rev") or "", metrics=metrics, payload=doc,
+        source=source)
+    store.put(record)
+    return [record]
+
+
+# ----------------------------------------------------------------------
+# Autodetection
+# ----------------------------------------------------------------------
+def detect_kind(doc: Any) -> str:
+    """Classify a loaded JSON document by shape."""
+    if isinstance(doc, dict):
+        if doc.get("schema") == "repro-bench-v1":
+            return "bench"
+        if "plan" in doc and "scenario" in doc and "version" in doc:
+            return "chaos"
+        if "shares" in doc and "scopes" in doc:
+            return "profile"
+        if doc and all(isinstance(v, dict) and "total_cycles" in v
+                       for v in doc.values()):
+            return "sweep"
+    raise StoreError(
+        "unrecognized document shape (expected a repro-bench-v1 document, "
+        "a sweep cache, a chaos artifact or a profile report)")
+
+
+def ingest_path(store: ResultStore, path: PathLike,
+                git_rev: Optional[str] = None) -> Tuple[str, int]:
+    """Ingest one JSON artifact; returns ``(detected kind, rows written)``."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    kind = detect_kind(doc)
+    source = str(path)
+    if kind == "bench":
+        rows = ingest_bench(store, doc, source)
+    elif kind == "sweep":
+        rows = ingest_sweep(store, doc, source, git_rev=git_rev)
+    elif kind == "chaos":
+        rows = ingest_chaos_artifact(store, doc, source)
+    else:
+        rows = ingest_profile(store, doc, source)
+    return kind, len(rows)
+
+
+__all__ = ["detect_kind", "export_bench", "export_sweep", "ingest_bench",
+           "ingest_chaos_artifact", "ingest_path", "ingest_profile",
+           "ingest_sweep", "sweep_metrics"]

@@ -1,0 +1,165 @@
+"""Query layer: filters, cross-revision trends, regression gating.
+
+The store keeps one row per (cell, revision); this module turns those
+rows into the two shapes the service consumers need:
+
+* :func:`trend` / :func:`trends_by_series` — a metric's value per
+  ``git_rev`` in first-seen revision order, grouped by the stable
+  ``series`` identity (the sweep key, the micro bench name, the macro
+  ``app/cores/protocol`` cell);
+* :func:`check_regressions` — ``bench --check-regression`` generalized
+  to *any stored metric across the last N revisions*: the latest
+  revision's value is compared against the best value the window holds,
+  with the same calibration normalization the bench harness applies
+  (records that carry a ``calibration`` metric are divided by it, which
+  cancels raw host speed to first order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.store.db import ResultStore
+from repro.store.schema import STATUS_OK
+
+#: metrics where smaller is better; everything else is higher-is-better.
+LOWER_IS_BETTER = frozenset({
+    "mean_commit_latency", "wall_seconds", "seconds", "squash_rate",
+    "mean_queue", "violations", "wall_ns",
+})
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One (revision, value) sample of a series."""
+
+    git_rev: str
+    value: float
+    n_samples: int = 1
+
+
+def metric_lower_is_better(metric: str) -> bool:
+    return metric in LOWER_IS_BETTER or metric.startswith("share/")
+
+
+def _value_of(record, metric: str, normalize: bool) -> Optional[float]:
+    value = record.metric(metric)
+    if value is None:
+        return None
+    if normalize and metric != "calibration":
+        cal = record.metric("calibration")
+        if cal:
+            return value / cal
+    return value
+
+
+def trend(store: ResultStore, kind: str, metric: str, *,
+          series: Optional[str] = None,
+          app: Optional[str] = None,
+          protocol: Optional[str] = None,
+          n_cores: Optional[int] = None,
+          last: Optional[int] = None,
+          normalize: bool = False) -> List[TrendPoint]:
+    """One series' metric per revision, oldest first.
+
+    Multiple rows of the same series at one revision (e.g. several cells
+    matching an ``app`` filter) average into one point.  ``last`` keeps
+    only the newest N revisions; ``normalize`` divides by each record's
+    ``calibration`` metric when present.
+    """
+    rows = [r for r in store.query(kind, series=series, app=app,
+                                   protocol=protocol, n_cores=n_cores,
+                                   status=STATUS_OK)]
+    order = store.revisions(kind)
+    by_rev: Dict[str, List[float]] = {}
+    for record in rows:
+        value = _value_of(record, metric, normalize)
+        if value is not None:
+            by_rev.setdefault(record.git_rev, []).append(value)
+    points = [TrendPoint(rev, sum(vals) / len(vals), len(vals))
+              for rev in order if (vals := by_rev.get(rev))]
+    if last is not None:
+        points = points[-last:]
+    return points
+
+
+def trends_by_series(store: ResultStore, kind: str, metric: str, *,
+                     last: Optional[int] = None,
+                     normalize: bool = False
+                     ) -> Dict[str, List[TrendPoint]]:
+    """Every series of ``kind`` that exposes ``metric``, as trends."""
+    names = sorted({r.series for r in store.query(kind, status=STATUS_OK)})
+    out: Dict[str, List[TrendPoint]] = {}
+    for name in names:
+        points = trend(store, kind, metric, series=name, last=last,
+                       normalize=normalize)
+        if points:
+            out[name] = points
+    return out
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One series whose latest revision is worse than the window's best."""
+
+    kind: str
+    series: str
+    metric: str
+    baseline_rev: str
+    baseline: float
+    latest_rev: str
+    latest: float
+
+    @property
+    def drop_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return abs(100.0 * (self.latest - self.baseline) / self.baseline)
+
+    def render(self) -> str:
+        return (f"{self.kind}/{self.series} {self.metric}: "
+                f"{self.drop_pct:.1f}% worse than rev {self.baseline_rev} "
+                f"({self.baseline:.4g} -> {self.latest:.4g} "
+                f"at rev {self.latest_rev or '<none>'})")
+
+
+def check_regressions(store: ResultStore, kind: str, metric: str, *,
+                      threshold: float = 0.10, last: int = 5,
+                      lower_better: Optional[bool] = None,
+                      normalize: bool = True) -> List[Regression]:
+    """Gate the newest revision of every series against the window's best.
+
+    For each series with at least two revisions among the last ``last``,
+    the newest value is compared to the best older value (max for
+    higher-is-better metrics, min for lower-is-better); a relative
+    slip beyond ``threshold`` is a regression.  Series with a single
+    revision pass vacuously — a fresh store never gates.
+    """
+    if lower_better is None:
+        lower_better = metric_lower_is_better(metric)
+    out: List[Regression] = []
+    for name, points in trends_by_series(store, kind, metric, last=last,
+                                         normalize=normalize).items():
+        if len(points) < 2:
+            continue
+        latest = points[-1]
+        prior = points[:-1]
+        best = min(prior, key=lambda p: p.value) if lower_better \
+            else max(prior, key=lambda p: p.value)
+        if best.value == 0:
+            continue
+        slip = ((latest.value - best.value) if lower_better
+                else (best.value - latest.value)) / abs(best.value)
+        if slip > threshold:
+            out.append(Regression(kind=kind, series=name, metric=metric,
+                                  baseline_rev=best.git_rev,
+                                  baseline=best.value,
+                                  latest_rev=latest.git_rev,
+                                  latest=latest.value))
+    return out
+
+
+__all__ = ["LOWER_IS_BETTER", "Regression", "TrendPoint",
+           "check_regressions", "metric_lower_is_better", "trend",
+           "trends_by_series"]

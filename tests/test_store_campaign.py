@@ -1,0 +1,206 @@
+"""Campaign runner tests: spec handling, sweep parity, crash-safe resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import sweep
+from repro.store import campaign
+from repro.store.db import ResultStore, StoreError
+from repro.store.schema import KIND_SWEEP, STATUS_FAILED, STATUS_OK
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Fields a campaign record may legitimately differ from a serial sweep's
+#: (host wall-clock; everything else must be byte-identical).
+WALL_FIELDS = ("wall_seconds", "wall_seconds_raw")
+
+
+class TestSpec:
+    def test_from_json_defaults(self):
+        spec = campaign.CampaignSpec.from_json(
+            {"name": "s", "apps": ["LU"], "cores": [4]})
+        assert spec.chunks == 2
+        assert spec.seeds == (None,)
+        assert spec.baseline1p is True
+        assert len(spec.protocols) == 4
+
+    def test_round_trip(self, tmp_path):
+        spec = campaign.CampaignSpec.from_json(
+            {"name": "s", "apps": ["LU"], "cores": [4, 8],
+             "protocols": ["TCC"], "chunks": 1, "seeds": [7, 9],
+             "baseline1p": False})
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json()))
+        assert campaign.CampaignSpec.load(path) == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(StoreError, match="unknown campaign spec key"):
+            campaign.CampaignSpec.from_json(
+                {"name": "s", "apps": ["LU"], "cores": [4], "bogus": 1})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(StoreError, match="unknown protocol"):
+            campaign.CampaignSpec.from_json(
+                {"name": "s", "apps": ["LU"], "cores": [4],
+                 "protocols": ["MESI"]})
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(StoreError, match="needs 'cores'"):
+            campaign.CampaignSpec.from_json({"name": "s", "apps": ["LU"]})
+
+
+class TestExpand:
+    def test_matrix_mirrors_serial_sweep_order(self):
+        spec = campaign.CampaignSpec(name="s", apps=("LU", "Radix"),
+                                     cores=(4, 8), chunks=1)
+        cells = campaign.expand(spec)
+        # per app: one baseline1p cell + cores x protocols
+        assert len(cells) == 2 * (1 + 2 * 4)
+        serial = [key for key, _task in
+                  sweep._matrix(["LU", "Radix"], [4, 8], 1, False)]
+        assert [c.sweep_key for c in cells] == serial
+
+    def test_seed_multiplies_the_matrix(self):
+        spec = campaign.CampaignSpec(name="s", apps=("LU",), cores=(4,),
+                                     protocols=("TCC",), chunks=1,
+                                     seeds=(7, 9), baseline1p=False)
+        cells = campaign.expand(spec)
+        assert [c.seed for c in cells] == [7, 9]
+        assert len({c.cell_key for c in cells}) == 2
+
+    def test_cell_keys_distinguish_chunks(self):
+        kw = dict(app="LU", n_cores=4, protocol="TCC", active_cores=None,
+                  n_partitions=4, seed=None)
+        a = campaign.CampaignCell(chunks=1, **kw)
+        b = campaign.CampaignCell(chunks=2, **kw)
+        assert a.sweep_key == b.sweep_key
+        assert a.cell_key != b.cell_key
+
+
+class TestRunParity:
+    def test_campaign_records_match_serial_sweep(self, tmp_path):
+        """The acceptance criterion: campaign cells == serial sweep cells
+        byte-for-byte, modulo wall-clock fields."""
+        spec = campaign.CampaignSpec(name="parity", apps=("LU",),
+                                     cores=(4,), chunks=1)
+        with ResultStore(tmp_path / "r.db") as store:
+            report = campaign.run_campaign(spec, store,
+                                           log=lambda *_: None)
+            assert not report.failed and not report.skipped
+            rows = {r.series: r for r in store.query(KIND_SWEEP)}
+        serial = sweep.collect(["LU"], [4], 1, log=lambda *_: None)
+        assert set(rows) == set(serial)
+        for key, rec in serial.items():
+            stored = dict(rows[key].payload)
+            for field in WALL_FIELDS:
+                stored.pop(field, None)
+                rec = {k: v for k, v in rec.items() if k not in WALL_FIELDS}
+            assert json.dumps(stored, sort_keys=True) \
+                == json.dumps(rec, sort_keys=True), key
+
+    def test_second_run_skips_everything(self, tmp_path):
+        spec = campaign.CampaignSpec(name="s", apps=("LU",), cores=(4,),
+                                     protocols=("TCC",), chunks=1,
+                                     baseline1p=False)
+        with ResultStore(tmp_path / "r.db") as store:
+            first = campaign.run_campaign(spec, store, log=lambda *_: None)
+            assert len(first.ran) == 1
+            second = campaign.run_campaign(spec, store, log=lambda *_: None)
+            assert second.ran == []
+            assert len(second.skipped) == 1
+
+    def test_failed_cell_is_stored_and_not_rerun(self, tmp_path):
+        spec = campaign.CampaignSpec(name="s", apps=("NoSuchApp",),
+                                     cores=(4,), protocols=("TCC",),
+                                     chunks=1, baseline1p=False)
+        with ResultStore(tmp_path / "r.db") as store:
+            report = campaign.run_campaign(spec, store, log=lambda *_: None)
+            assert len(report.failed) == 1
+            row = store.query(KIND_SWEEP, status=STATUS_FAILED)[0]
+            assert "NoSuchApp" in row.error or row.error
+            assert "Traceback" in row.traceback
+            assert row.payload["app"] == "NoSuchApp"
+            # failed rows dedupe too, unless rerun is requested
+            again = campaign.run_campaign(spec, store, log=lambda *_: None)
+            assert again.ran == [] and len(again.skipped) == 1
+            rerun = campaign.run_campaign(spec, store, log=lambda *_: None,
+                                          rerun_failed=True)
+            assert len(rerun.failed) == 1
+
+
+class TestCrashResume:
+    def _completed(self, db: Path) -> set:
+        with ResultStore(db, create=False) as store:
+            return {r.cell_key for r in store.query(KIND_SWEEP,
+                                                    status=STATUS_OK)}
+
+    def test_sigkill_mid_campaign_resumes_with_zero_reruns(self, tmp_path):
+        """Kill a campaign process dead mid-flight; the resume must re-run
+        zero completed cells and the database must pass integrity_check."""
+        db = tmp_path / "r.db"
+        spec_doc = {"name": "crash", "apps": ["LU", "Radix"],
+                    "cores": [4, 8], "chunks": 1}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec_doc))
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "store", "campaign",
+             str(spec_path), "--store", str(db)],
+            cwd=str(REPO), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # wait until at least two cells are durably checkpointed,
+            # then kill the process without any chance to clean up
+            deadline = time.time() + 120
+            completed = set()
+            while time.time() < deadline:
+                if proc.poll() is not None:
+                    pytest.fail("campaign finished before it was killed; "
+                                "matrix too small for this host")
+                if db.exists():
+                    try:
+                        completed = self._completed(db)
+                    except StoreError:
+                        completed = set()
+                if len(completed) >= 2:
+                    break
+                time.sleep(0.05)
+            assert len(completed) >= 2, "no checkpoints appeared in time"
+            try:
+                proc.send_signal(signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - lost the race
+                pass
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # the file a SIGKILL left behind must be a healthy database ...
+        with ResultStore(db, create=False) as store:
+            assert store.integrity_check() == "ok"
+            survivors = {r.cell_key for r in store.query(KIND_SWEEP,
+                                                         status=STATUS_OK)}
+        # ... holding every checkpoint observed before the kill
+        assert completed <= survivors
+
+        # resume in-process: zero completed cells may re-run
+        spec = campaign.CampaignSpec.from_json(spec_doc)
+        with ResultStore(db) as store:
+            report = campaign.run_campaign(spec, store, log=lambda *_: None)
+            assert set(report.ran).isdisjoint(survivors)
+            assert set(report.skipped) >= survivors
+            assert not report.failed
+            assert report.total == len(campaign.expand(spec))
+            final = store.query(KIND_SWEEP, status=STATUS_OK)
+            assert len(final) == report.total
+            assert store.integrity_check() == "ok"

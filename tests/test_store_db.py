@@ -1,0 +1,148 @@
+"""Tests for the SQLite result store (schema, upsert, query, integrity)."""
+
+import pytest
+
+from repro.store.db import ResultStore, StoreError, StoreSchemaError
+from repro.store.schema import (KIND_BENCH_MICRO, KIND_SWEEP, Record,
+                                SCHEMA, STATUS_FAILED, STATUS_OK)
+
+
+def rec(**kw):
+    base = dict(kind=KIND_SWEEP, cell_key="LU/8/TCC/8", config_hash="abc",
+                seed=2010, git_rev="deadbee", app="LU", protocol="TCC",
+                n_cores=8, metrics={"total_cycles": 100}, payload={"x": 1})
+    base.update(kw)
+    return Record(**base)
+
+
+class TestSchema:
+    def test_create_and_reopen(self, tmp_path):
+        path = tmp_path / "r.db"
+        with ResultStore(path) as store:
+            assert store.meta()["schema"] == SCHEMA
+        with ResultStore(path, create=False) as store:
+            assert store.meta()["schema"] == SCHEMA
+
+    def test_missing_without_create(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(tmp_path / "absent.db", create=False)
+
+    def test_non_store_database_rejected(self, tmp_path):
+        import sqlite3
+        path = tmp_path / "other.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError):
+            ResultStore(path)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "r.db"
+        with ResultStore(path) as store:
+            store._conn.execute(
+                "UPDATE meta SET value = 'repro-store-v999' "
+                "WHERE key = 'schema'")
+        with pytest.raises(StoreSchemaError):
+            ResultStore(path)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            rec(kind="nonsense")
+
+    def test_series_defaults_to_cell_key(self):
+        assert rec(series=None).series == "LU/8/TCC/8"
+
+
+class TestUpsert:
+    def test_put_and_query(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            store.put(rec())
+            rows = store.query(KIND_SWEEP)
+            assert len(rows) == 1
+            assert rows[0].metrics["total_cycles"] == 100
+            assert rows[0].payload == {"x": 1}
+
+    def test_same_cache_key_replaces(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            store.put(rec(metrics={"total_cycles": 100}))
+            store.put(rec(metrics={"total_cycles": 200}))
+            rows = store.query(KIND_SWEEP)
+            assert len(rows) == 1
+            assert rows[0].metrics["total_cycles"] == 200
+
+    def test_new_revision_adds_a_row(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            store.put(rec(git_rev="aaaaaaa"))
+            store.put(rec(git_rev="bbbbbbb"))
+            assert len(store.query(KIND_SWEEP)) == 2
+            assert store.revisions(KIND_SWEEP) == ["aaaaaaa", "bbbbbbb"]
+
+    def test_put_many_is_all_or_nothing(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            good = rec()
+            with pytest.raises(AttributeError):
+                store.put_many([good, "not a record"])
+            assert store.query() == []  # no partial batch visible
+
+    def test_status_of(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            r = rec()
+            assert store.status_of(r.kind, r.config_hash, r.seed,
+                                   r.git_rev, r.cell_key) is None
+            store.put(r)
+            assert store.status_of(r.kind, r.config_hash, r.seed,
+                                   r.git_rev, r.cell_key) == STATUS_OK
+            # any-revision match
+            assert store.status_of(r.kind, r.config_hash, r.seed,
+                                   None, r.cell_key) == STATUS_OK
+            assert store.status_of(r.kind, r.config_hash, r.seed,
+                                   "fffffff", r.cell_key) is None
+
+    def test_failed_rows_are_first_class(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            store.put(rec(status=STATUS_FAILED, metrics={},
+                          error="ValueError('boom')",
+                          traceback="Traceback ..."))
+            row = store.query(status=STATUS_FAILED)[0]
+            assert row.error == "ValueError('boom')"
+            assert "Traceback" in row.traceback
+
+
+class TestQueryFilters:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        with ResultStore(tmp_path / "r.db") as store:
+            store.put(rec(cell_key="LU/8/TCC/8", app="LU", protocol="TCC"))
+            store.put(rec(cell_key="LU/16/TCC/16", app="LU",
+                          protocol="TCC", n_cores=16))
+            store.put(rec(cell_key="Radix/8/SEQ/8", app="Radix",
+                          protocol="SEQ"))
+            store.put(Record(kind=KIND_BENCH_MICRO, cell_key="d.x/sig",
+                             series="sig", git_rev="deadbee",
+                             metrics={"ops_per_sec": 5.0}))
+            yield store
+
+    def test_filter_by_kind(self, store):
+        assert len(store.query(KIND_SWEEP)) == 3
+        assert len(store.query(KIND_BENCH_MICRO)) == 1
+        assert len(store.query()) == 4
+
+    def test_filter_by_app_protocol_cores(self, store):
+        assert len(store.query(app="LU")) == 2
+        assert len(store.query(protocol="SEQ")) == 1
+        assert len(store.query(n_cores=16)) == 1
+        assert len(store.query(app="LU", n_cores=16)) == 1
+
+    def test_filter_by_series_and_limit(self, store):
+        assert store.query(series="sig")[0].kind == KIND_BENCH_MICRO
+        assert len(store.query(limit=2)) == 2
+
+    def test_counts_and_integrity(self, store):
+        assert store.counts() == {KIND_SWEEP: 3, KIND_BENCH_MICRO: 1}
+        assert store.integrity_check() == "ok"
+
+    def test_metric_helper(self, store):
+        row = store.query(series="sig")[0]
+        assert row.metric("ops_per_sec") == 5.0
+        assert row.metric("absent") is None

@@ -1,0 +1,156 @@
+"""Ingestion round-trips against the repo's committed result artifacts."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.store import ingest
+from repro.store.db import ResultStore, StoreError
+from repro.store.schema import (KIND_BENCH_MACRO, KIND_BENCH_META,
+                                KIND_BENCH_MICRO, KIND_CHAOS, KIND_PROFILE,
+                                KIND_SWEEP, STATUS_FAILED, STATUS_OK)
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DOCS = sorted(REPO.glob("BENCH_*.json"))
+SWEEP_CACHE = REPO / "results" / "sweep.json"
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(tmp_path / "r.db") as s:
+        yield s
+
+
+def canonical(doc):
+    return json.dumps(doc, sort_keys=True)
+
+
+class TestBenchRoundTrip:
+    @pytest.mark.skipif(not BENCH_DOCS, reason="no committed BENCH docs")
+    def test_committed_docs_reexport_losslessly(self, store):
+        # ingest every committed benchmark document, newest last
+        for path in BENCH_DOCS:
+            doc = json.loads(path.read_text())
+            ingest.ingest_bench(store, doc, source=str(path))
+        newest = json.loads(BENCH_DOCS[-1].read_text())
+        assert canonical(ingest.export_bench(store)) == canonical(newest)
+        # each document stays addressable by its date.docid prefix
+        for path in BENCH_DOCS:
+            doc = json.loads(path.read_text())
+            prefix = f"{doc['date']}.{ingest._doc_id(doc)}"
+            assert canonical(ingest.export_bench(store, prefix)) \
+                == canonical(doc)
+
+    @pytest.mark.skipif(not BENCH_DOCS, reason="no committed BENCH docs")
+    def test_rows_carry_metrics_and_calibration(self, store):
+        doc = json.loads(BENCH_DOCS[-1].read_text())
+        ingest.ingest_bench(store, doc, source="x")
+        micro = store.query(KIND_BENCH_MICRO)
+        macro = store.query(KIND_BENCH_MACRO)
+        assert len(micro) == len(doc["micro"])
+        assert len(macro) == len(doc["macro"])
+        cal = doc["calibration_ops_per_sec"]
+        for row in micro + macro:
+            assert row.metric("calibration") == pytest.approx(cal)
+        assert all(r.metric("ops_per_sec") for r in micro)
+        assert all(r.metric("cycles_per_sec") for r in macro)
+        meta = store.query(KIND_BENCH_META)[0]
+        assert meta.git_rev == (doc.get("git_rev") or "")
+
+    @pytest.mark.skipif(not BENCH_DOCS, reason="no committed BENCH docs")
+    def test_reingest_is_idempotent(self, store):
+        doc = json.loads(BENCH_DOCS[-1].read_text())
+        ingest.ingest_bench(store, doc, source="x")
+        first = len(store.query())
+        ingest.ingest_bench(store, doc, source="x")
+        assert len(store.query()) == first
+
+
+class TestSweepRoundTrip:
+    @pytest.mark.skipif(not SWEEP_CACHE.exists(),
+                        reason="no committed sweep cache")
+    def test_committed_cache_reexports_losslessly(self, store):
+        records = json.loads(SWEEP_CACHE.read_text())
+        ingest.ingest_sweep(store, records, source=str(SWEEP_CACHE),
+                            git_rev="testrev")
+        assert canonical(ingest.export_sweep(store)) == canonical(records)
+
+    def test_sweep_metrics_derivation(self):
+        rec = {"total_cycles": 1000, "chunks_committed": 10,
+               "squashes_conflict": 1, "squashes_alias": 1,
+               "mean_commit_latency": 25.0, "wall_seconds_raw": 0.5}
+        metrics = ingest.sweep_metrics(rec)
+        assert metrics["cycles_per_sec"] == pytest.approx(2000.0)
+        assert metrics["squash_rate"] == pytest.approx(0.2)
+        assert metrics["mean_commit_latency"] == 25.0
+
+    def test_key_parsing(self, store):
+        ingest.ingest_sweep(
+            store, {"Radix/16/TCC/16": {"total_cycles": 5, "seed": 7,
+                                        "config_hash": "abc"}},
+            git_rev="r1")
+        row = store.query(KIND_SWEEP)[0]
+        assert (row.app, row.n_cores, row.seed) == ("Radix", 16, 7)
+        assert row.config_hash == "abc"
+
+
+class TestChaosAndProfile:
+    def test_chaos_artifact(self, store):
+        doc = {"version": 1,
+               "scenario": {"name": "hotpage", "protocol": "ScalableBulk",
+                            "n_cores": 8},
+               "plan": {"name": "plan-3", "seed": 42, "faults": [{}, {}]},
+               "violations": [{"code": "SB-SAFE-1", "rule": "r",
+                               "time": 5, "detail": "d"}],
+               "watchdog_fires": [], "stats": {"cycles": 99, "commits": 3}}
+        ingest.ingest_chaos_artifact(store, doc, source="x")
+        row = store.query(KIND_CHAOS)[0]
+        assert row.cell_key == "hotpage/plan-3"
+        assert row.status == STATUS_FAILED
+        assert row.error == "SB-SAFE-1"
+        assert row.metrics["violations"] == 1
+        assert row.metrics["n_faults"] == 2
+        assert row.payload == doc
+
+    def test_clean_chaos_artifact_is_ok(self, store):
+        doc = {"version": 1, "scenario": {"name": "s"},
+               "plan": {"name": "p", "seed": 0, "faults": []},
+               "violations": [], "watchdog_fires": [], "stats": {}}
+        ingest.ingest_chaos_artifact(store, doc)
+        assert store.query(KIND_CHAOS)[0].status == STATUS_OK
+
+    def test_profile_report(self, store):
+        doc = {"schema": "repro-profile-v1", "wall_ns": 1000,
+               "scopes": {"noc": {}}, "shares": {"noc": 0.4, "dir": 0.6},
+               "git_rev": "r9"}
+        ingest.ingest_profile(store, doc, source="x")
+        row = store.query(KIND_PROFILE)[0]
+        assert row.metric("share/noc") == pytest.approx(0.4)
+        assert row.metric("wall_ns") == 1000
+        assert row.git_rev == "r9"
+        assert row.payload == doc
+
+
+class TestDetection:
+    def test_detect_each_kind(self):
+        assert ingest.detect_kind({"schema": "repro-bench-v1"}) == "bench"
+        assert ingest.detect_kind({"version": 1, "plan": {},
+                                   "scenario": {}}) == "chaos"
+        assert ingest.detect_kind({"shares": {}, "scopes": {}}) == "profile"
+        assert ingest.detect_kind(
+            {"LU/4/TCC/4": {"total_cycles": 1}}) == "sweep"
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(StoreError):
+            ingest.detect_kind({"mystery": True})
+        with pytest.raises(StoreError):
+            ingest.detect_kind([1, 2, 3])
+
+    def test_ingest_path(self, store, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(
+            {"LU/4/TCC/4": {"total_cycles": 1, "seed": 0}}))
+        kind, n = ingest.ingest_path(store, path, git_rev="r1")
+        assert (kind, n) == ("sweep", 1)
+        assert store.query(KIND_SWEEP)[0].source == str(path)

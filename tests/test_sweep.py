@@ -47,6 +47,41 @@ class TestCollectCaching:
         assert len(records) == 5
 
 
+class TestAtomicSave:
+    def test_atomic_write_replaces_and_cleans_up(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("old")
+        sweep.atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [path]  # no temp file left
+
+    def test_failed_write_leaves_previous_checkpoint_intact(self, tmp_path,
+                                                            monkeypatch):
+        path = tmp_path / "cache.json"
+        path.write_text('{"good": "checkpoint"}')
+
+        def explode(_src, _dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(sweep.os, "replace", explode)
+        with pytest.raises(OSError):
+            sweep.atomic_write_text(path, "half-written garbage")
+        # the old checkpoint survives and the temp file is gone
+        assert path.read_text() == '{"good": "checkpoint"}'
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestSeedOverride:
+    def test_run_one_seed_lands_in_config_and_record(self):
+        rec = sweep.run_one("LU", 4, ProtocolKind.SCALABLEBULK, chunks=1,
+                            seed=1234)
+        assert rec["seed"] == 1234
+        default = sweep.run_one("LU", 4, ProtocolKind.SCALABLEBULK,
+                                chunks=1)
+        assert default["seed"] != 1234  # Table 2 default preserved
+        assert rec["config_hash"] != default["config_hash"]
+
+
 class TestRendering:
     @pytest.fixture
     def records(self, tmp_path):
